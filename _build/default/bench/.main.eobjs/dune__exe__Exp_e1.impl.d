@@ -1,0 +1,1 @@
+bench/exp_e1.ml: Ascii_plot Float List Metrics Printf Servo_system Table

@@ -1,0 +1,1 @@
+bench/exp_e2.ml: Dc_motor Float List Metrics Pid Printf Qformat Servo_system Stats Table

@@ -1,0 +1,1 @@
+bench/exp_e3.ml: Bean Bean_project Expert Inspector List Mcu_db Printf Resources Result Table

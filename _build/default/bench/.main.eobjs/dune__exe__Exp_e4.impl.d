@@ -1,0 +1,1 @@
+bench/exp_e4.ml: C_print Compile Cost_model Discrete_blocks Dtype List Mcu_db Pid Printf Qformat Servo_system String Table Target

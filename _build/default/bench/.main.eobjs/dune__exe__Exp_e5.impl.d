@@ -1,0 +1,1 @@
+bench/exp_e5.ml: Ascii_plot Compile Encoder Float Hil_cosim List Option Pil_cosim Pil_target Printf Servo_system Sim Stats Table Target

@@ -1,0 +1,1 @@
+bench/exp_e6.ml: Array Ascii_plot Dc_motor Float List Pid Printf Stability Table Timing_study Ztransfer

@@ -1,0 +1,1 @@
+bench/exp_e7.ml: Float List Machine Mcu_db Rta Stats Table Timer_periph

@@ -1,0 +1,1 @@
+bench/exp_e8.ml: Bean Bean_project Compile Dtype Float List Load_profile Math_blocks Mcu_db Metrics Model Periph_blocks Printf Servo_system Sim Sources Stats Table

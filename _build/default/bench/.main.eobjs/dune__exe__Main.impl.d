@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_e1 Exp_e2 Exp_e3 Exp_e4 Exp_e5 Exp_e6 Exp_e7 Exp_e8 List Perf Printf String Sys

@@ -1,0 +1,49 @@
+(* E1 -- Fig 7.1: closed-loop MIL simulation of the servo case study.
+   Step-response metrics for each set-point plus disturbance rejection. *)
+
+let speed_between speed t0 t1 =
+  List.filter (fun (t, _) -> t >= t0 && t < t1) speed
+
+let run () =
+  print_endline "==================================================================";
+  print_endline "E1 (Fig 7.1): MIL closed-loop servo -- step responses and load step";
+  print_endline "==================================================================";
+  let built = Servo_system.build () in
+  let speed, _duty = Servo_system.mil_run built ~t_end:1.6 in
+  Ascii_plot.print
+    ~title:"servo speed: set-points 50/100/150 rad/s at 0/0.4/0.8 s, 4 mN.m load at 1.2 s"
+    ~x_label:"time [s]"
+    [ { Ascii_plot.label = "speed"; points = speed } ];
+  let t = Table.create ~title:"step metrics per set-point segment"
+      [ "segment"; "target"; "rise [ms]"; "overshoot"; "settle [ms]"; "sse [rad/s]"; "IAE" ]
+  in
+  let segment name t0 t1 y0 sp =
+    let seg = speed_between speed t0 t1 in
+    let si = Metrics.step_info ~sp ~y0 seg in
+    let iae = Metrics.iae ~sp:(fun _ -> sp) seg in
+    Table.add_row t
+      [
+        name;
+        Printf.sprintf "%.0f rad/s" sp;
+        Table.cell_f ~dec:1 (si.Metrics.rise_time *. 1e3);
+        Table.cell_pct si.Metrics.overshoot;
+        (if Float.is_nan si.Metrics.settling_time then "-"
+         else Table.cell_f ~dec:1 (si.Metrics.settling_time *. 1e3));
+        Table.cell_f ~dec:2 si.Metrics.steady_state_error;
+        Table.cell_f ~dec:3 iae;
+      ]
+  in
+  segment "0.0-0.4 s" 0.0 0.4 0.0 50.0;
+  segment "0.4-0.8 s" 0.4 0.8 50.0 100.0;
+  segment "0.8-1.2 s" 0.8 1.2 100.0 150.0;
+  Table.print t;
+  (* disturbance rejection at 1.2 s *)
+  let post = speed_between speed 1.2 1.6 in
+  let dip = List.fold_left (fun a (_, w) -> Float.min a w) infinity post in
+  let recovered =
+    List.find_opt (fun (t, w) -> t > 1.21 && Float.abs (w -. 150.0) < 1.5) post
+  in
+  Printf.printf
+    "load step 4 mN.m at 1.2 s: dip to %.1f rad/s, recovered within %.0f ms\n\n"
+    dip
+    (match recovered with Some (t, _) -> (t -. 1.2) *. 1e3 | None -> nan)

@@ -1,0 +1,66 @@
+(* E3 -- Fig 4.1: the Bean Inspector and the expert system. Prescaler
+   solving across the achievable period range, immediate validation of
+   designer decisions, and the error diagnostics of §3.1's missing
+   "validation of the HW settings in the time and the resource domain". *)
+
+let mcu = Mcu_db.mc56f8367
+
+let run () =
+  print_endline "==================================================================";
+  print_endline "E3 (Fig 4.1): Bean Inspector and expert-system validation";
+  print_endline "==================================================================";
+  (* the inspector view of the case study's timer bean *)
+  let p = Bean_project.create mcu in
+  let ti =
+    Bean_project.add p
+      (Bean.make ~name:"TI1" (Bean.Timer_int { period = 1e-3; tolerance_frac = 0.001 }))
+  in
+  print_string (Inspector.render_bean ti);
+  print_newline ();
+
+  (* prescaler solving sweep (the expert-system computation of §4) *)
+  let t =
+    Table.create ~title:"TimerInt period solving on the MC56F8367 (60 MHz)"
+      [ "requested"; "prescaler"; "modulo"; "achieved"; "error" ]
+  in
+  List.iter
+    (fun period ->
+      match Expert.solve_timer_period mcu ~period with
+      | Ok sol ->
+          Table.add_row t
+            [
+              Printf.sprintf "%g us" (period *. 1e6);
+              string_of_int sol.Expert.prescaler;
+              string_of_int sol.Expert.modulo;
+              Printf.sprintf "%.4g us" (sol.Expert.achieved_period *. 1e6);
+              Printf.sprintf "%.2g %%" (100.0 *. sol.Expert.error_frac);
+            ]
+      | Error e ->
+          Table.add_row t [ Printf.sprintf "%g us" (period *. 1e6); "-"; "-"; "-"; e ])
+    [ 1e-5; 1e-4; 3.333e-4; 1e-3; 1.00001e-3; 1e-2; 0.1; 0.139; 1.0 ];
+  Table.print t;
+
+  (* invalid designer decisions are rejected with diagnoses *)
+  let t = Table.create ~title:"invalid settings and their diagnoses"
+      [ "attempted setting"; "diagnosis" ] in
+  let check name f = Table.add_row t [ name; (match f () with Error e -> e | Ok _ -> "accepted!") ] in
+  check "timer period 10 s" (fun () -> Expert.solve_timer_period mcu ~period:10.0);
+  check "PWM carrier 100 Hz" (fun () -> Expert.solve_pwm_period mcu ~hz:100.0);
+  check "ADC sampled every 1 us" (fun () ->
+      Result.map (fun () -> 0) (Expert.check_adc_sampling mcu ~sample_period:1e-6));
+  check "SCI at 1,000,000 baud" (fun () -> Expert.solve_sci_divisor mcu ~baud:1000000);
+  Table.add_row t
+    [ "two beans on PWM ch 0";
+      (let r = Resources.create mcu in
+       ignore (Resources.claim r ~owner:"PWM1" Resources.Pwm_ch ~unit_index:0 ());
+       match Resources.claim r ~owner:"PWM2" Resources.Pwm_ch ~unit_index:0 () with
+       | Error e -> e
+       | Ok _ -> "accepted!") ];
+  Table.add_row t
+    [ "QuadDecoder on the HCS12";
+      (let r = Resources.create Mcu_db.mc9s12dp256 in
+       match Resources.claim r ~owner:"QD1" Resources.Qdec_unit () with
+       | Error e -> e
+       | Ok _ -> "accepted!") ];
+  Table.print ~align:[ Table.Left; Table.Left ] t;
+  print_newline ()

@@ -1,0 +1,91 @@
+(* E6 -- §1 claim: "timing variations in sampling periods and latencies
+   degrade the control performance and may in extreme cases lead to the
+   instability" (the TrueTime-style study). *)
+
+let run () =
+  print_endline "==================================================================";
+  print_endline "E6 (section 1): timing variations degrade control performance";
+  print_endline "==================================================================";
+  let baseline = Timing_study.run Timing_study.default in
+  Printf.printf "workload: 1 kHz speed loop, closed-loop tau = 3 periods, IAE baseline %.3f\n\n"
+    baseline.Timing_study.iae;
+  let jitters = [ 0.0; 0.2; 0.4; 0.6; 0.8 ] in
+  let latencies = [ 0.0; 0.5; 1.0; 2.0; 3.0; 4.0; 8.0 ] in
+  let rows =
+    Timing_study.degradation_sweep ~jitter_fracs:jitters ~latency_fracs:latencies ()
+  in
+  let t =
+    Table.create ~title:"relative control cost (IAE / baseline); T = control period"
+      ("jitter \\ latency" :: List.map (fun l -> Printf.sprintf "%.1f T" l) latencies)
+  in
+  List.iter
+    (fun j ->
+      let cells =
+        List.map
+          (fun l ->
+            let _, _, o = List.find (fun (j', l', _) -> j' = j && l' = l) rows in
+            if Timing_study.unstable o then "UNSTABLE"
+            else Table.cell_f ~dec:2 (Timing_study.relative_cost ~baseline o))
+          latencies
+      in
+      Table.add_row t (Printf.sprintf "%.0f %%" (100.0 *. j) :: cells))
+    jitters;
+  Table.print t;
+
+  (* degradation curve as a figure *)
+  let curve =
+    List.map
+      (fun l ->
+        let o = Timing_study.run { Timing_study.default with Timing_study.latency_frac = l } in
+        (l, Float.min 20.0 (Timing_study.relative_cost ~baseline o)))
+      [ 0.0; 0.25; 0.5; 0.75; 1.0; 1.5; 2.0; 2.5; 3.0; 3.5 ]
+  in
+  Ascii_plot.print ~title:"cost degradation vs actuation latency (clipped at 20x)"
+    ~x_label:"latency [control periods]"
+    [ { Ascii_plot.label = "IAE ratio"; points = curve } ];
+
+  (* instability threshold *)
+  let unstable_at l =
+    Timing_study.unstable
+      (Timing_study.run { Timing_study.default with Timing_study.latency_frac = l })
+  in
+  let rec bisect lo hi n =
+    if n = 0 then (lo, hi)
+    else
+      let mid = (lo +. hi) /. 2.0 in
+      if unstable_at mid then bisect lo mid (n - 1) else bisect mid hi (n - 1)
+  in
+  let lo, hi = bisect 0.0 16.0 12 in
+  Printf.printf "instability threshold: %.2f .. %.2f control periods of latency\n"
+    lo hi;
+
+  (* analytic cross-check on the discretised loop: delayed plant model
+     loses stability under the same controller around the same delay *)
+  let motor = Timing_study.default.Timing_study.motor in
+  let k_dc = motor.Dc_motor.kt /. ((motor.Dc_motor.ra *. motor.Dc_motor.b) +. (motor.Dc_motor.ke *. motor.Dc_motor.kt)) in
+  let tau_m = Dc_motor.mechanical_time_constant motor in
+  let plant1 = Ztransfer.zoh_first_order ~k:k_dc ~tau:tau_m ~ts:1e-3 in
+  let g = Timing_study.default.Timing_study.gains in
+  let controller =
+    (* PI in z: kp + ki*ts/(1 - z^-1) *)
+    Ztransfer.create
+      ~num:[| g.Pid.kp +. (g.Pid.ki *. 1e-3); -.g.Pid.kp |]
+      ~den:[| 1.0; -1.0 |]
+  in
+  let delayed n =
+    (* append n samples of delay to the plant *)
+    let num = Array.append (Array.make n 0.0) (Ztransfer.num plant1) in
+    let den = Array.append (Ztransfer.den plant1) (Array.make n 0.0) in
+    Ztransfer.create ~num ~den
+  in
+  let rec first_unstable n =
+    if n > 32 then None
+    else if not (Stability.closed_loop_stable ~plant:(delayed n) ~controller) then Some n
+    else first_unstable (n + 1)
+  in
+  (match first_unstable 0 with
+  | Some n ->
+      Printf.printf
+        "analytic (Jury) stability bound of the linearised loop: %d periods of delay\n" n
+  | None -> print_endline "analytic loop stable for all tested delays");
+  print_newline ()

@@ -1,0 +1,97 @@
+(* E8 -- §3.1/§5 single-model fidelity: peripheral blocks are not
+   pass-throughs. The ADC block really quantises ("the ADC block
+   representing the 12 bits AD converter really provides the controller
+   model with values with the 12 bits resolution"), and the encoder path
+   really counts. This experiment measures what that fidelity is worth. *)
+
+(* A sensor path through the ADC bean block at a given resolution,
+   digitising a slow ramp; compare against the ideal signal. *)
+let adc_path_error ~mcu ~resolution =
+  let project = Bean_project.create mcu in
+  let adc_bean =
+    Bean_project.add project
+      (Bean.make ~name:"AD1"
+         (Bean.Adc { channel = None; resolution; vref = 3.3; sample_period = 1e-3 }))
+  in
+  let m = Model.create "fidelity" in
+  let src = Model.add m ~name:"src" (Sources.ramp ~slope:0.33 ()) in
+  let adc = Model.add m ~name:"adc" (Periph_blocks.adc adc_bean) in
+  (* note ~dtype: without it the gain would inherit uint16 from the ADC
+     and truncate -- the data-type pitfall the paper's section 7 warns
+     about *)
+  let back =
+    Model.add m ~name:"back"
+      (Math_blocks.gain ~dtype:Dtype.Double (Periph_blocks.adc_volts_gain adc_bean))
+  in
+  Model.connect m ~src:(src, 0) ~dst:(adc, 0);
+  Model.connect m ~src:(adc, 0) ~dst:(back, 0);
+  let sim = Sim.create (Compile.compile m) in
+  Sim.probe_named sim "src" 0;
+  Sim.probe_named sim "back" 0;
+  Sim.run sim ~until:9.9 ();
+  let ideal = Sim.trace_named sim "src" 0 in
+  let digitised = Sim.trace_named sim "back" 0 in
+  Metrics.max_deviation ideal digitised
+
+let run () =
+  print_endline "==================================================================";
+  print_endline "E8 (sections 3.1/5): single-model peripheral fidelity";
+  print_endline "==================================================================";
+  let t =
+    Table.create ~title:"ADC block: simulation error vs a pass-through block"
+      [ "device"; "resolution"; "LSB [mV]"; "max |ideal - block| [mV]" ]
+  in
+  List.iter
+    (fun (mcu, res) ->
+      let err = adc_path_error ~mcu ~resolution:res in
+      Table.add_row t
+        [
+          mcu.Mcu_db.name;
+          Printf.sprintf "%d bit" res;
+          Table.cell_f ~dec:3 (3.3 /. float_of_int ((1 lsl res) - 1) *. 1e3);
+          Table.cell_f ~dec:3 (err *. 1e3);
+        ])
+    [
+      (Mcu_db.mc9s12dp256, 8);
+      (Mcu_db.mc9s12dp256, 10);
+      (Mcu_db.mc56f8367, 12);
+    ];
+  Table.print t;
+  print_endline
+    "A pass-through block (the §3.1 criticism of existing targets) would\n\
+     report zero error and hide the quantisation the real hardware adds;\n\
+     the PE block reproduces exactly half-LSB rounding.\n";
+
+  (* encoder resolution: the closed-loop cost of feedback quantisation *)
+  let t =
+    Table.create
+      ~title:"encoder resolution vs closed-loop behaviour (servo MIL, 1 kHz)"
+      [ "lines/rev"; "counts/rev"; "1 count [rad/s]"; "speed ripple p2p"; "IAE (0-0.4 s)" ]
+  in
+  List.iter
+    (fun lines ->
+      let cfg =
+        { Servo_system.default_config with
+          Servo_system.encoder_lines = lines;
+          setpoints = [ (0.0, 100.0) ];
+          load = Load_profile.No_load }
+      in
+      let b = Servo_system.build ~config:cfg () in
+      let speed, _ = Servo_system.mil_run b ~t_end:0.4 in
+      let tail = List.filter (fun (t, _) -> t > 0.25) speed in
+      let ripple = Stats.jitter (List.map snd tail) in
+      let iae = Metrics.iae ~sp:(fun _ -> 100.0) speed in
+      Table.add_row t
+        [
+          string_of_int lines;
+          string_of_int (4 * lines);
+          Table.cell_f ~dec:2 (2.0 *. Float.pi /. float_of_int (4 * lines) /. 1e-3);
+          Table.cell_f ~dec:2 ripple;
+          Table.cell_f ~dec:3 iae;
+        ])
+    [ 25; 50; 100; 200; 500 ];
+  Table.print t;
+  print_endline
+    "Coarser encoders make the measured speed visibly noisier (one count per\n\
+     period is the quantum); the paper's single-model approach exposes this\n\
+     during MIL instead of on the bench.\n"

@@ -1,0 +1,38 @@
+(* The experiment harness: regenerates every table- and figure-shaped
+   result of the paper's evaluation (see DESIGN.md's per-experiment index
+   and EXPERIMENTS.md for paper-vs-measured), then runs the bechamel
+   performance benches.
+
+   Usage:
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- e5 e6   -- selected experiments only
+*)
+
+let experiments =
+  [
+    ("e1", Exp_e1.run);
+    ("e2", Exp_e2.run);
+    ("e3", Exp_e3.run);
+    ("e4", Exp_e4.run);
+    ("e5", Exp_e5.run);
+    ("e6", Exp_e6.run);
+    ("e7", Exp_e7.run);
+    ("e8", Exp_e8.run);
+    ("perf", Perf.run);
+  ]
+
+let () =
+  let selected =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> List.map String.lowercase_ascii names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run -> run ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" name
+            (String.concat " " (List.map fst experiments));
+          exit 1)
+    selected

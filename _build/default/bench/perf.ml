@@ -1,0 +1,112 @@
+(* P1-P5: performance of the environment itself (bechamel micro-benches).
+   One Test.make per metric; time-per-run estimated by OLS against the
+   monotonic clock. *)
+
+open Bechamel
+open Toolkit
+
+(* P1: MIL engine throughput on the servo closed loop *)
+let bench_mil =
+  let built = Servo_system.build () in
+  let comp = Compile.compile built.Servo_system.closed_loop in
+  let sim = Sim.create ~solver_substeps:3 comp in
+  Test.make ~name:"P1 MIL engine step (servo, 21 blocks)"
+    (Staged.stage (fun () -> Sim.step sim))
+
+(* P2: virtual-MCU event throughput *)
+let bench_machine =
+  let machine = Machine.create Mcu_db.mc56f8367 in
+  let irq =
+    Machine.register_irq machine ~name:"x" ~prio:1 ~handler:(fun () ->
+        { Machine.jname = "x"; cycles = 100; action = (fun () -> ());
+          stack_bytes = 16 })
+  in
+  Test.make ~name:"P2 virtual MCU: event + ISR dispatch"
+    (Staged.stage (fun () ->
+         Machine.raise_irq machine irq;
+         Machine.advance machine ~cycles:500))
+
+(* P3: full code generation of the servo controller *)
+let bench_codegen =
+  let built = Servo_system.build () in
+  let comp = Compile.compile built.Servo_system.controller in
+  Test.make ~name:"P3 PEERT codegen (servo controller)"
+    (Staged.stage (fun () ->
+         ignore (Target.generate ~name:"servo" ~project:built.Servo_system.project comp)))
+
+(* P4: comm path: packet encode + framer decode roundtrip *)
+let bench_comm =
+  let payload = List.init 16 (fun i -> i * 7 land 0xFF) in
+  let sink = Framer.create ~on_packet:(fun _ -> ()) in
+  Test.make ~name:"P4 packet encode + frame decode (16 B payload)"
+    (Staged.stage (fun () ->
+         Framer.feed_all sink
+           (Packet.encode { Packet.ptype = 1; seq = 0; payload })))
+
+(* P5: controller arithmetic, float vs Q15 *)
+let bench_pid_float =
+  let c = Pid.create ~ts:1e-3 (Pid.gains ~kp:0.03 ~ki:2.5 ~u_min:0.0 ~u_max:24.0 ()) in
+  let x = ref 0.0 in
+  Test.make ~name:"P5a PID step (double)"
+    (Staged.stage (fun () ->
+         x := Pid.step c ~sp:100.0 ~pv:!x *. 0.99))
+
+let bench_pid_fixed =
+  let c =
+    Pid.Fixpoint.create ~ts:1e-3 ~fmt:Qformat.q15 ~in_scale:512.0 ~out_scale:24.0
+      (Pid.gains ~kp:0.03 ~ki:2.5 ~u_min:0.0 ~u_max:24.0 ())
+  in
+  let x = ref 0.0 in
+  Test.make ~name:"P5b PID step (Q15 fixed)"
+    (Staged.stage (fun () ->
+         x := Pid.Fixpoint.step c ~sp:100.0 ~pv:!x *. 0.99))
+
+(* P6: one full PIL co-simulated control period *)
+let bench_pil =
+  let cfg = { Servo_system.default_config with Servo_system.control_period = 5e-3 } in
+  let built = Servo_system.build ~config:cfg () in
+  let comp = Compile.compile built.Servo_system.controller in
+  let arts = Pil_target.generate ~name:"servo" ~project:built.Servo_system.project comp in
+  Test.make ~name:"P6 PIL co-simulation (100 control periods)"
+    (Staged.stage (fun () ->
+         let controller = Sim.create comp in
+         let plant = Servo_system.pil_plant built in
+         let driver = Servo_system.pil_driver built in
+         ignore
+           (Pil_cosim.run ~mcu:cfg.Servo_system.mcu ~schedule:arts.Target.schedule
+              ~controller ~plant ~driver ~periods:100 ())))
+
+let run () =
+  print_endline "==================================================================";
+  print_endline "P1-P6: environment performance (bechamel, ns per run)";
+  print_endline "==================================================================";
+  let tests =
+    Test.make_grouped ~name:"perf" ~fmt:"%s %s"
+      [ bench_mil; bench_machine; bench_codegen; bench_comm; bench_pid_float;
+        bench_pid_fixed; bench_pil ]
+  in
+  let cfg = Benchmark.cfg ~limit:1500 ~quota:(Time.second 0.4) ~kde:(Some 500) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  let t = Table.create [ "benchmark"; "time/run"; "runs/s" ] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] ->
+          Table.add_row t
+            [
+              name;
+              (if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+               else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+               else Printf.sprintf "%.0f ns" ns);
+              Printf.sprintf "%.3g" (1e9 /. ns);
+            ]
+      | _ -> Table.add_row t [ name; "n/a"; "n/a" ])
+    rows;
+  Table.print ~align:[ Table.Left; Table.Right; Table.Right ] t;
+  print_newline ()

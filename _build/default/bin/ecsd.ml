@@ -1,0 +1,323 @@
+(* ecsd -- command-line driver of the integrated environment.
+
+   Sub-commands mirror the development cycle of the paper's Fig 6.1 on the
+   built-in servo case study:
+
+     ecsd inspect   -- the PE project window and Bean Inspector (Fig 4.1)
+     ecsd mil       -- closed-loop model-in-the-loop simulation (Fig 7.1)
+     ecsd codegen   -- PEERT code generation into a directory
+     ecsd pil       -- processor-in-the-loop co-simulation (Fig 6.2)
+     ecsd mcus      -- the supported-MCU database
+*)
+
+open Cmdliner
+
+let mcu_conv =
+  let parse s =
+    match Mcu_db.find s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown MCU %S (use `ecsd mcus` to list them)" s))
+  in
+  let print ppf m = Format.pp_print_string ppf m.Mcu_db.name in
+  Arg.conv (parse, print)
+
+let mcu_arg =
+  Arg.(
+    value
+    & opt mcu_conv Mcu_db.mc56f8367
+    & info [ "mcu" ] ~docv:"MCU" ~doc:"Target MCU (default MC56F8367).")
+
+let period_arg =
+  Arg.(
+    value
+    & opt float 1e-3
+    & info [ "period" ] ~docv:"SECONDS" ~doc:"Control period (default 1 ms).")
+
+let fixed_arg =
+  Arg.(
+    value & flag
+    & info [ "fixed" ] ~doc:"Use the Q15 fixed-point controller variant.")
+
+let config mcu period fixed =
+  {
+    Servo_system.default_config with
+    Servo_system.mcu;
+    control_period = period;
+    variant = (if fixed then Servo_system.Fixed_pid else Servo_system.Float_pid);
+  }
+
+let build_or_fail cfg =
+  try Servo_system.build ~config:cfg ()
+  with Invalid_argument msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 2
+
+(* ---- inspect ---- *)
+
+let inspect mcu period fixed bean =
+  let built = build_or_fail (config mcu period fixed) in
+  (match bean with
+  | None -> print_string (Inspector.render_project built.Servo_system.project)
+  | Some name -> (
+      match Bean_project.find built.Servo_system.project name with
+      | b -> print_string (Inspector.render_bean b)
+      | exception Not_found ->
+          Printf.eprintf "no bean named %S in the project\n" name;
+          exit 2));
+  0
+
+let inspect_cmd =
+  let bean =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bean" ] ~docv:"NAME" ~doc:"Show one bean's inspector instead.")
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Project window and Bean Inspector (Fig 4.1)")
+    Term.(const inspect $ mcu_arg $ period_arg $ fixed_arg $ bean)
+
+(* ---- mil ---- *)
+
+let mil mcu period fixed t_end csv =
+  let built = build_or_fail (config mcu period fixed) in
+  let speed, duty = Servo_system.mil_run built ~t_end in
+  Ascii_plot.print ~title:"MIL: motor speed" ~x_label:"time [s]"
+    [ { Ascii_plot.label = "speed [rad/s]"; points = speed } ];
+  (match List.rev speed with
+  | (_, w) :: _ -> Printf.printf "final speed %.2f rad/s\n" w
+  | [] -> ());
+  let max_duty = List.fold_left (fun a (_, d) -> Float.max a d) 0.0 duty in
+  Printf.printf "peak duty %.3f\n" max_duty;
+  (match csv with
+  | Some path ->
+      Trace_export.write_csv ~path [ ("speed", speed); ("duty", duty) ];
+      Printf.printf "trace written to %s\n" path
+  | None -> ());
+  0
+
+let mil_cmd =
+  let t_end =
+    Arg.(
+      value & opt float 1.6
+      & info [ "t-end" ] ~docv:"SECONDS" ~doc:"Simulation horizon.")
+  in
+  let csv =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Export the traces as CSV.")
+  in
+  Cmd.v
+    (Cmd.info "mil" ~doc:"Model-in-the-loop closed-loop simulation (Fig 7.1)")
+    Term.(const mil $ mcu_arg $ period_arg $ fixed_arg $ t_end $ csv)
+
+(* ---- codegen ---- *)
+
+let codegen mcu period fixed pil out_dir =
+  let built = build_or_fail (config mcu period fixed) in
+  let comp = Compile.compile built.Servo_system.controller in
+  let arts =
+    try
+      if pil then
+        Pil_target.generate ~name:"servo" ~project:built.Servo_system.project comp
+      else Target.generate ~name:"servo" ~project:built.Servo_system.project comp
+    with Target.Codegen_error msg ->
+      Printf.eprintf "code generation failed: %s\n" msg;
+      exit 2
+  in
+  let files = Target.write_to_dir arts ~dir:out_dir in
+  let r = arts.Target.report in
+  Printf.printf "%s target: %d blocks -> %d + %d LoC, step %.1f us, RAM est. %d B\n"
+    (if pil then "PEERT_PIL" else "PEERT")
+    r.Target.n_blocks r.Target.app_loc r.Target.hal_loc
+    (r.Target.step_time *. 1e6) r.Target.est_ram_bytes;
+  List.iter (fun w -> Printf.printf "warning: %s\n" w) r.Target.warnings;
+  Printf.printf "wrote %d files to %s\n" (List.length files) out_dir;
+  0
+
+let codegen_cmd =
+  let pil = Arg.(value & flag & info [ "pil" ] ~doc:"Generate the PIL variant.") in
+  let out =
+    Arg.(
+      value & opt string "servo_generated"
+      & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "codegen" ~doc:"Generate the embedded application (PEERT, Fig 6.1)")
+    Term.(const codegen $ mcu_arg $ period_arg $ fixed_arg $ pil $ out)
+
+(* ---- pil ---- *)
+
+let pil mcu period fixed baud periods =
+  let cfg = config mcu period fixed in
+  let built = build_or_fail cfg in
+  let comp = Compile.compile built.Servo_system.controller in
+  let arts =
+    Pil_target.generate ~name:"servo" ~project:built.Servo_system.project comp
+  in
+  let controller = Sim.create comp in
+  let plant = Servo_system.pil_plant built in
+  let driver = Servo_system.pil_driver built in
+  match
+    Pil_cosim.run ~baud ~mcu:cfg.Servo_system.mcu ~schedule:arts.Target.schedule
+      ~controller ~plant ~driver ~periods ()
+  with
+  | exception Invalid_argument msg ->
+      Printf.eprintf "PIL infeasible: %s\n" msg;
+      2
+  | r ->
+      let p = r.Pil_cosim.profile in
+      Printf.printf "periods            : %d\n" p.Pil_cosim.periods;
+      Printf.printf "exec time          : %.1f us\n"
+        (p.Pil_cosim.controller_exec.Stats.mean *. 1e6);
+      Printf.printf "latency p50/p95    : %.0f / %.0f us\n"
+        (p.Pil_cosim.response_latency.Stats.p50 *. 1e6)
+        (p.Pil_cosim.response_latency.Stats.p95 *. 1e6);
+      Printf.printf "sampling jitter    : %.1f us\n"
+        (p.Pil_cosim.step_start_jitter *. 1e6);
+      Printf.printf "comm               : %d B = %.2f ms per period\n"
+        p.Pil_cosim.comm_bytes_per_period
+        (p.Pil_cosim.comm_time_per_period *. 1e3);
+      Printf.printf "utilisation        : %.1f %%\n"
+        (100.0 *. p.Pil_cosim.cpu_utilization);
+      Printf.printf "stack high-water   : %d B\n" p.Pil_cosim.max_stack_bytes;
+      Printf.printf "overruns           : %d\n" p.Pil_cosim.overruns;
+      (match List.rev (Servo_system.pil_speed_trace r.Pil_cosim.trace) with
+      | (_, w) :: _ -> Printf.printf "final speed        : %.2f rad/s\n" w
+      | [] -> ());
+      0
+
+let pil_cmd =
+  let baud =
+    Arg.(value & opt int 115200 & info [ "baud" ] ~docv:"BAUD" ~doc:"RS-232 rate.")
+  in
+  let periods =
+    Arg.(
+      value & opt int 320
+      & info [ "periods" ] ~docv:"N" ~doc:"Control periods to co-simulate.")
+  in
+  Cmd.v
+    (Cmd.info "pil" ~doc:"Processor-in-the-loop co-simulation (Fig 6.2)")
+    Term.(const pil $ mcu_arg $ Arg.(value & opt float 5e-3 & info [ "period" ]
+            ~docv:"SECONDS" ~doc:"Control period (default 5 ms; RS-232 limits it).")
+          $ fixed_arg $ baud $ periods)
+
+(* ---- analyze ---- *)
+
+let analyze mcu period fixed bg_load =
+  let cfg = config mcu period fixed in
+  let built = build_or_fail cfg in
+  let comp = Compile.compile built.Servo_system.controller in
+  let arts = Target.generate ~name:"servo" ~project:built.Servo_system.project comp in
+  let f_cpu = mcu.Mcu_db.f_cpu_hz in
+  let ctrl_wcet =
+    float_of_int arts.Target.schedule.Target.total_step_cycles /. f_cpu
+  in
+  let tasks =
+    { Rta.tname = "model_step"; period; wcet = ctrl_wcet; prio = 2 }
+    ::
+    (if bg_load > 0.0 then
+       [ { Rta.tname = "background"; period = 0.73 *. period;
+           wcet = bg_load *. 0.73 *. period; prio = 5 } ]
+     else [])
+  in
+  Printf.printf "schedulability of the generated application on %s\n" mcu.Mcu_db.name;
+  Printf.printf "utilization: %.2f %% (Liu-Layland bound for %d tasks: %.2f %%)\n"
+    (100.0 *. Rta.utilization tasks)
+    (List.length tasks)
+    (100.0 *. Rta.rm_bound (List.length tasks));
+  let t = Table.create [ "task"; "period"; "wcet"; "worst response"; "verdict" ] in
+  List.iter
+    (fun v ->
+      Table.add_row t
+        [
+          v.Rta.task.Rta.tname;
+          Printf.sprintf "%.3f ms" (v.Rta.task.Rta.period *. 1e3);
+          Printf.sprintf "%.1f us" (v.Rta.task.Rta.wcet *. 1e6);
+          (if Float.is_finite v.Rta.response then
+             Printf.sprintf "%.1f us" (v.Rta.response *. 1e6)
+           else "unbounded");
+          (if v.Rta.schedulable then "OK" else "DEADLINE MISS");
+        ])
+    (Rta.non_preemptive tasks);
+  Table.print t;
+  print_endline "(non-preemptive analysis, the policy of the generated code)";
+  match Rta.analyze ~preemptive:false tasks with Ok _ -> 0 | Error _ -> 1
+
+let analyze_cmd =
+  let bg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "bg-load" ] ~docv:"FRACTION"
+          ~doc:"Add a competing background ISR with this CPU share.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Static schedulability (response-time analysis) of the generated schedule")
+    Term.(const analyze $ mcu_arg $ period_arg $ fixed_arg $ bg)
+
+(* ---- simgen ---- *)
+
+let simgen mcu period fixed out_dir =
+  let cfg = config mcu period fixed in
+  ignore (build_or_fail cfg);
+  let m = Servo_system.plant_model cfg in
+  let comp = Compile.compile ~default_dt:1e-4 m in
+  let arts = Sim_target.generate ~name:"servo" ~baud:cfg.Servo_system.baud comp in
+  let files = Sim_target.write_to_dir arts ~dir:out_dir in
+  Printf.printf
+    "Linux simulator target: %d plant blocks -> %d LoC plant + %d LoC runtime, %.0f us step\n"
+    arts.Sim_target.report.Sim_target.n_blocks
+    arts.Sim_target.report.Sim_target.plant_loc
+    arts.Sim_target.report.Sim_target.runtime_loc
+    (arts.Sim_target.report.Sim_target.sim_step *. 1e6);
+  Printf.printf "wrote %d files to %s (build with make, run: ./sim /dev/ttyS0)\n"
+    (List.length files) out_dir;
+  0
+
+let simgen_cmd =
+  let out =
+    Arg.(
+      value & opt string "sim_generated"
+      & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "simgen"
+       ~doc:"Generate the plant for the Linux simulator PC (the xPC replacement, section 8)")
+    Term.(const simgen $ mcu_arg $ period_arg $ fixed_arg $ out)
+
+(* ---- mcus ---- *)
+
+let mcus () =
+  let t =
+    Table.create [ "name"; "family"; "core"; "clock"; "flash"; "RAM"; "ADC"; "qdec" ]
+  in
+  List.iter
+    (fun m ->
+      Table.add_row t
+        [
+          m.Mcu_db.name;
+          m.Mcu_db.family;
+          m.Mcu_db.core;
+          Printf.sprintf "%.0f MHz" (m.Mcu_db.f_cpu_hz /. 1e6);
+          Printf.sprintf "%d KiB" (m.Mcu_db.flash_bytes / 1024);
+          Printf.sprintf "%d KiB" (m.Mcu_db.ram_bytes / 1024);
+          String.concat "/"
+            (List.map string_of_int m.Mcu_db.adc.Mcu_db.resolutions)
+          ^ " bit";
+          (if m.Mcu_db.has_qdec then "yes" else "no");
+        ])
+    Mcu_db.all;
+  Table.print t;
+  0
+
+let mcus_cmd =
+  Cmd.v (Cmd.info "mcus" ~doc:"List the MCU database") Term.(const mcus $ const ())
+
+let () =
+  let doc = "integrated environment for embedded control systems design" in
+  let info = Cmd.info "ecsd" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ inspect_cmd; mil_cmd; codegen_cmd; pil_cmd; simgen_cmd; analyze_cmd; mcus_cmd ]))

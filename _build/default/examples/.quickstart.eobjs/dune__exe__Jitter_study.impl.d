@@ -1,0 +1,1 @@
+examples/jitter_study.ml: Ascii_plot List Printf Table Timing_study

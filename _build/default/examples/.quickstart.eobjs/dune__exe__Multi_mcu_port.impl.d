@@ -1,0 +1,1 @@
+examples/multi_mcu_port.ml: Bean Bean_project C_print Compile Inspector List Mcu_db Printf Servo_system Table Target

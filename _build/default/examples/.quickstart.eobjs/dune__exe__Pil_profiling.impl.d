@@ -1,0 +1,1 @@
+examples/pil_profiling.ml: Ascii_plot Compile List Pil_cosim Pil_target Printf Servo_system Sim Stats Table Target

@@ -1,0 +1,1 @@
+examples/pil_profiling.mli:

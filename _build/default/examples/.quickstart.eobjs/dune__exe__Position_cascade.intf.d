@@ -1,0 +1,1 @@
+examples/position_cascade.mli:

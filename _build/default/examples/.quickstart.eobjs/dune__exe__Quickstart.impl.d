@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ascii_plot Compile Continuous_blocks Discrete_blocks Format Metrics Model Pid Printf Sim Sources Tuning

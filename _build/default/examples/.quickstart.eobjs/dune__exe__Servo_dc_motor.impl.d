@@ -1,0 +1,1 @@
+examples/servo_dc_motor.ml: Ascii_plot Bean_project C_print Compile Float Inspector List Mcu_db Metrics Printf Servo_system String Target

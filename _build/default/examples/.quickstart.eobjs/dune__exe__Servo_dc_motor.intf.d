@@ -1,0 +1,1 @@
+examples/servo_dc_motor.mli:

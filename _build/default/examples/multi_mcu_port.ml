@@ -1,0 +1,80 @@
+(* MCU portability (the paper's §1 headline advantage): "the model with
+   the PE blocks can be moreover extremely simply ported to another MCU by
+   selecting another CPU bean in the PE project window. The application
+   design in Simulink therefore becomes HW independent."
+
+   The same servo controller model is compiled for three Freescale
+   families; the application model is untouched, only the bean project is
+   retargeted, and the expert system reports what fits where.
+
+   Run with:  dune exec examples/multi_mcu_port.exe
+*)
+
+let () =
+  (* HCS12 has no hardware quadrature decoder: build the portable variant
+     without the mode-logic button to keep the pin map simple, and use a
+     2 ms loop so every CPU meets timing comfortably *)
+  let cfg =
+    { Servo_system.default_config with
+      Servo_system.control_period = 2e-3;
+      with_mode_logic = false }
+  in
+  let t =
+    Table.create ~title:"one model, three MCUs (PEERT retargeting)"
+      [ "MCU"; "core"; "clock"; "status"; "step cost"; "app LoC"; "HAL LoC";
+        "RAM est." ]
+  in
+  let reference_app = ref None in
+  List.iter
+    (fun mcu ->
+      let cfg = { cfg with Servo_system.mcu } in
+      match Servo_system.build ~config:cfg () with
+      | exception Invalid_argument msg ->
+          Table.add_row t
+            [ mcu.Mcu_db.name; mcu.Mcu_db.core;
+              Printf.sprintf "%.0f MHz" (mcu.Mcu_db.f_cpu_hz /. 1e6);
+              "REJECTED"; "-"; "-"; "-"; "-" ];
+          Printf.printf "  %s: %s\n" mcu.Mcu_db.name msg
+      | built ->
+          let comp = Compile.compile built.Servo_system.controller in
+          let arts =
+            Target.generate ~name:"servo" ~project:built.Servo_system.project comp
+          in
+          let r = arts.Target.report in
+          (* the application code (model.c) must be identical across MCUs:
+             only the HAL below the bean API differs *)
+          let app = C_print.print_unit arts.Target.model_c in
+          (match !reference_app with
+          | None -> reference_app := Some app
+          | Some ref_app ->
+              if app = ref_app then
+                Printf.printf "  %s: application code identical to the reference\n"
+                  mcu.Mcu_db.name
+              else
+                Printf.printf "  %s: WARNING application code differs!\n"
+                  mcu.Mcu_db.name);
+          Table.add_row t
+            [
+              mcu.Mcu_db.name;
+              mcu.Mcu_db.core;
+              Printf.sprintf "%.0f MHz" (mcu.Mcu_db.f_cpu_hz /. 1e6);
+              "OK";
+              Printf.sprintf "%.1f us" (r.Target.step_time *. 1e6);
+              string_of_int r.Target.app_loc;
+              string_of_int r.Target.hal_loc;
+              Printf.sprintf "%d B" r.Target.est_ram_bytes;
+            ])
+    [ Mcu_db.mc56f8367; Mcu_db.mcf5213; Mcu_db.mc9s12dp256 ];
+  print_newline ();
+  Table.print t;
+  print_endline
+    "\nNote the HCS12 rejection: it has no hardware quadrature decoder, and\n\
+     the expert system refuses the QuadDecoder bean instead of silently\n\
+     producing broken code -- the validation story of section 4.\n";
+
+  (* the fallback the engineer would pick: HCS12 with a slower loop is
+     still rejected (the constraint is structural, not timing) *)
+  print_endline "Bean Inspector view of the failing bean on the HCS12:";
+  let p = Bean_project.create Mcu_db.mc9s12dp256 in
+  let qd = Bean_project.add p (Bean.make ~name:"QD1" (Bean.Quad_dec { lines_per_rev = 100 })) in
+  print_string (Inspector.render_bean qd)

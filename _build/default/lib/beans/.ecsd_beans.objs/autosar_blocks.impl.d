@@ -1,0 +1,1 @@
+lib/beans/autosar_blocks.ml: Block Periph_blocks String

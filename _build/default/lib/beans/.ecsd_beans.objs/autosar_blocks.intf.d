@@ -1,0 +1,1 @@
+lib/beans/autosar_blocks.mli: Bean Block

@@ -1,0 +1,1 @@
+lib/beans/autosar_code.ml: Bean Bean_project C_ast C_print Expert List Mcu_db Option Printf Stdlib String

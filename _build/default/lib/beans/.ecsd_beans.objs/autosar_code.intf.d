@@ -1,0 +1,1 @@
+lib/beans/autosar_code.mli: Bean Bean_project C_ast

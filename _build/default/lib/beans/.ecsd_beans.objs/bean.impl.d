@@ -1,0 +1,1 @@
+lib/beans/bean.ml: Expert Float List Mcu_db Printf Resources String

@@ -1,0 +1,1 @@
+lib/beans/bean.mli: Expert Resources

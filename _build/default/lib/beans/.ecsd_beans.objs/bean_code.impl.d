@@ -1,0 +1,1 @@
+lib/beans/bean_code.ml: Bean C_ast Expert Hashtbl List Mcu_db Printf

@@ -1,0 +1,1 @@
+lib/beans/bean_project.ml: Bean Bean_code C_print List Mcu_db Printf Resources String

@@ -1,0 +1,1 @@
+lib/beans/bean_project.mli: Bean C_ast Mcu_db Resources

@@ -1,0 +1,1 @@
+lib/beans/expert.ml: Float List Mcu_db Printf Stdlib

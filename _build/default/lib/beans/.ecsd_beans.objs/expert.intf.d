@@ -1,0 +1,1 @@
+lib/beans/expert.mli: Mcu_db

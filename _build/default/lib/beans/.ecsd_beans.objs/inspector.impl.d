@@ -1,0 +1,1 @@
+lib/beans/inspector.ml: Bean Bean_project Buffer List Mcu_db Printf Resources Table

@@ -1,0 +1,1 @@
+lib/beans/inspector.mli: Bean Bean_project

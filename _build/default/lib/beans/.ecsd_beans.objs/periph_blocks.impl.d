@@ -1,0 +1,1 @@
+lib/beans/periph_blocks.ml: Array Bean Block Dtype Expert Float Param Printf Sample_time Value

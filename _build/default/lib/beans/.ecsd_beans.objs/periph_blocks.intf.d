@@ -1,0 +1,1 @@
+lib/beans/periph_blocks.mli: Bean Block

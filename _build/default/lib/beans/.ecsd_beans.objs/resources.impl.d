@@ -1,0 +1,1 @@
+lib/beans/resources.ml: Hashtbl List Mcu_db Printf Stdlib

@@ -1,0 +1,1 @@
+lib/beans/resources.mli: Mcu_db

@@ -1,0 +1,26 @@
+(** MCAL-style HAL generation: the AUTOSAR variant's counterpart of
+    {!Bean_code} (§8).
+
+    The same resolved beans generate an AUTOSAR-flavoured hardware
+    abstraction instead of PE method code: standardized driver APIs
+    ([Adc_StartGroupConversion]/[Adc_ReadGroup], [Pwm_SetDutyCycle],
+    [Dio_ReadChannel]/[Dio_WriteChannel], [Gpt_StartTimer] with
+    notifications, [Icu_GetEdgeNumbers]), symbolic channel identifiers in
+    a generated configuration header, and an [Mcal_Init] bringing the
+    drivers up with the expert-system-resolved register settings. *)
+
+val symbolic_id : Bean.t -> string
+(** The configuration symbol naming a bean's channel/group, e.g.
+    ["AdcGroup_AD1"], ["PwmChannel_PWM1"], ["GptChannel_TI1"]. *)
+
+val notification_name : Bean.t -> string option
+(** The notification (callout) the driver invokes for event-generating
+    beans: [Gpt_Notification_TI1], [Adc_Notification_AD1]; [None] for
+    beans without events. *)
+
+val hal_units : Bean_project.t -> C_ast.cunit list
+(** [Std_Types.h], [Mcal_Cfg.h], [Mcal.h], one driver unit per peripheral
+    class in use, and [Mcal.c] with [Mcal_Init].
+    @raise Invalid_argument when the project does not verify. *)
+
+val hal_loc : Bean_project.t -> int

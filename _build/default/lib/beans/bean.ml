@@ -1,0 +1,354 @@
+type pin_direction = In_pin | Out_pin
+
+type config =
+  | Timer_int of { period : float; tolerance_frac : float }
+  | Adc of { channel : int option; resolution : int; vref : float;
+             sample_period : float }
+  | Pwm of { channel : int option; freq_hz : float; initial_ratio : float }
+  | Dac of { channel : int option; resolution : int; vref : float }
+  | Bit_io of { pin : string; direction : pin_direction; init : bool }
+  | Quad_dec of { lines_per_rev : int }
+  | Serial of { port : int option; baud : int }
+  | Free_cntr of { tick : float }
+  | Watch_dog of { timeout : float }
+
+type resolved =
+  | R_timer of Expert.timer_solution * int
+  | R_adc of { channel : int; conv_time : float; max_code : int }
+  | R_pwm of { channel : int; period_counts : int; actual_freq : float;
+               duty_bits : int }
+  | R_dac of { channel : int; max_code : int }
+  | R_bitio
+  | R_qdec of { register_bits : int }
+  | R_serial of { port : int; divisor : int; baud_error : float;
+                  byte_time : float }
+  | R_free_cntr of Expert.timer_solution * int
+  | R_wdog of { timeout_cycles : int }
+
+type t = {
+  bname : string;
+  config : config;
+  mutable resolved : resolved option;
+  mutable errors : string list;
+  mutable warnings : string list;
+}
+
+let make ~name config =
+  { bname = name; config; resolved = None; errors = []; warnings = [] }
+
+let type_name t =
+  match t.config with
+  | Timer_int _ -> "TimerInt"
+  | Adc _ -> "ADC"
+  | Pwm _ -> "PWM"
+  | Dac _ -> "DAC"
+  | Bit_io _ -> "BitIO"
+  | Quad_dec _ -> "QuadDecoder"
+  | Serial _ -> "AsynchroSerial"
+  | Free_cntr _ -> "FreeCntr"
+  | Watch_dog _ -> "WatchDog"
+
+let err t msg = t.errors <- t.errors @ [ msg ]
+let warn t msg = t.warnings <- t.warnings @ [ msg ]
+
+let resolve t res =
+  t.resolved <- None;
+  t.errors <- [];
+  t.warnings <- [];
+  Resources.release_owner res t.bname;
+  let mcu = Resources.mcu res in
+  let claim kind ?unit_index () =
+    match Resources.claim res ~owner:t.bname kind ?unit_index () with
+    | Ok idx -> Some idx
+    | Error e ->
+        err t e;
+        None
+  in
+  match t.config with
+  | Timer_int { period; tolerance_frac } -> (
+      match Expert.solve_timer_period mcu ~period with
+      | Error e -> err t e
+      | Ok sol -> (
+          (match Expert.check_period_tolerance sol ~tolerance_frac with
+          | Ok () -> ()
+          | Error e -> err t e);
+          if sol.Expert.error_frac > 0.0 then
+            warn t
+              (Printf.sprintf "period rounded to %.6g s (%.3g %% error)"
+                 sol.Expert.achieved_period (100.0 *. sol.Expert.error_frac));
+          match claim Resources.Timer_ch () with
+          | Some ch -> if t.errors = [] then t.resolved <- Some (R_timer (sol, ch))
+          | None -> ()))
+  | Adc { channel; resolution; vref; sample_period } -> (
+      if not (List.mem resolution mcu.Mcu_db.adc.Mcu_db.resolutions) then
+        err t
+          (Printf.sprintf "%d-bit resolution unavailable on %s (offers %s)"
+             resolution mcu.Mcu_db.name
+             (String.concat "/"
+                (List.map string_of_int mcu.Mcu_db.adc.Mcu_db.resolutions)));
+      if vref <= 0.0 then err t "vref must be positive";
+      (match Expert.check_adc_sampling mcu ~sample_period with
+      | Ok () -> ()
+      | Error e -> err t e);
+      match claim Resources.Adc_ch ?unit_index:channel () with
+      | Some ch ->
+          if t.errors = [] then
+            t.resolved <-
+              Some
+                (R_adc
+                   {
+                     channel = ch;
+                     conv_time =
+                       float_of_int mcu.Mcu_db.adc.Mcu_db.conv_cycles
+                       /. mcu.Mcu_db.f_cpu_hz;
+                     max_code = (1 lsl resolution) - 1;
+                   })
+      | None -> ())
+  | Pwm { channel; freq_hz; initial_ratio } -> (
+      if initial_ratio < 0.0 || initial_ratio > 1.0 then
+        err t "initial ratio must be within 0..1";
+      match Expert.solve_pwm_period mcu ~hz:freq_hz with
+      | Error e -> err t e
+      | Ok (counts, actual) -> (
+          let duty_bits =
+            int_of_float (Float.floor (log (float_of_int counts) /. log 2.0))
+          in
+          if duty_bits < 8 then
+            warn t
+              (Printf.sprintf
+                 "only %d bits of duty resolution at %.3g Hz; consider a lower carrier"
+                 duty_bits freq_hz);
+          match claim Resources.Pwm_ch ?unit_index:channel () with
+          | Some ch ->
+              if t.errors = [] then
+                t.resolved <-
+                  Some
+                    (R_pwm
+                       { channel = ch; period_counts = counts;
+                         actual_freq = actual; duty_bits })
+          | None -> ()))
+  | Dac { channel; resolution; vref } -> (
+      if mcu.Mcu_db.dac.Mcu_db.dac_channels = 0 then
+        err t (Printf.sprintf "%s offers no DAC" mcu.Mcu_db.name)
+      else if not (List.mem resolution mcu.Mcu_db.dac.Mcu_db.dac_resolutions) then
+        err t
+          (Printf.sprintf "%d-bit DAC mode unavailable on %s" resolution
+             mcu.Mcu_db.name);
+      if vref <= 0.0 then err t "vref must be positive";
+      match claim Resources.Dac_ch ?unit_index:channel () with
+      | Some ch ->
+          if t.errors = [] then
+            t.resolved <-
+              Some (R_dac { channel = ch; max_code = (1 lsl resolution) - 1 })
+      | None -> ())
+  | Bit_io { pin; direction = _; init = _ } -> (
+      match claim (Resources.Pin pin) () with
+      | Some _ -> if t.errors = [] then t.resolved <- Some R_bitio
+      | None -> ())
+  | Quad_dec { lines_per_rev } -> (
+      if lines_per_rev <= 0 then err t "lines_per_rev must be positive";
+      match claim Resources.Qdec_unit () with
+      | Some _ -> if t.errors = [] then t.resolved <- Some (R_qdec { register_bits = 16 })
+      | None -> ())
+  | Serial { port; baud } -> (
+      match Expert.solve_sci_divisor mcu ~baud with
+      | Error e -> err t e
+      | Ok (divisor, baud_error) -> (
+          match claim Resources.Sci_port ?unit_index:port () with
+          | Some p ->
+              if baud_error > 0.01 then
+                warn t
+                  (Printf.sprintf "baud error %.2f %%" (100.0 *. baud_error));
+              if t.errors = [] then
+                t.resolved <-
+                  Some
+                    (R_serial
+                       { port = p; divisor; baud_error;
+                         byte_time = 10.0 /. float_of_int baud })
+          | None -> ()))
+  | Watch_dog { timeout } ->
+      if timeout <= 0.0 then err t "timeout must be positive"
+      else if timeout > 10.0 then
+        warn t "timeouts above 10 s defeat the watchdog's purpose";
+      if t.errors = [] then
+        t.resolved <-
+          Some
+            (R_wdog
+               {
+                 timeout_cycles =
+                   int_of_float (Float.round (timeout *. mcu.Mcu_db.f_cpu_hz));
+               })
+  | Free_cntr { tick } -> (
+      match Expert.solve_timer_period mcu ~period:tick with
+      | Error e -> err t e
+      | Ok sol -> (
+          match claim Resources.Timer_ch () with
+          | Some ch ->
+              if t.errors = [] then t.resolved <- Some (R_free_cntr (sol, ch))
+          | None -> ()))
+
+let is_valid t = t.resolved <> None && t.errors = []
+
+let methods t =
+  let n = t.bname in
+  match t.config with
+  | Timer_int _ ->
+      [
+        (n ^ "_Enable", Printf.sprintf "byte %s_Enable(void)" n);
+        (n ^ "_Disable", Printf.sprintf "byte %s_Disable(void)" n);
+        (n ^ "_SetPeriodMode", Printf.sprintf "byte %s_SetPeriodMode(byte mode)" n);
+      ]
+  | Adc _ ->
+      [
+        (n ^ "_Measure", Printf.sprintf "byte %s_Measure(bool wait)" n);
+        (n ^ "_GetValue", Printf.sprintf "byte %s_GetValue(word *value)" n);
+        (n ^ "_Start", Printf.sprintf "byte %s_Start(void)" n);
+      ]
+  | Dac _ ->
+      [
+        (n ^ "_SetValue", Printf.sprintf "byte %s_SetValue(word value)" n);
+        (n ^ "_Enable", Printf.sprintf "byte %s_Enable(void)" n);
+      ]
+  | Pwm _ ->
+      [
+        (n ^ "_SetRatio16", Printf.sprintf "byte %s_SetRatio16(word ratio)" n);
+        (n ^ "_SetDutyUS", Printf.sprintf "byte %s_SetDutyUS(word time)" n);
+        (n ^ "_Enable", Printf.sprintf "byte %s_Enable(void)" n);
+      ]
+  | Bit_io { direction = Out_pin; _ } ->
+      [
+        (n ^ "_PutVal", Printf.sprintf "void %s_PutVal(bool value)" n);
+        (n ^ "_NegVal", Printf.sprintf "void %s_NegVal(void)" n);
+      ]
+  | Bit_io { direction = In_pin; _ } ->
+      [ (n ^ "_GetVal", Printf.sprintf "bool %s_GetVal(void)" n) ]
+  | Quad_dec _ ->
+      [
+        (n ^ "_GetPosition", Printf.sprintf "word %s_GetPosition(void)" n);
+        (n ^ "_ResetPosition", Printf.sprintf "byte %s_ResetPosition(void)" n);
+      ]
+  | Serial _ ->
+      [
+        (n ^ "_SendChar", Printf.sprintf "byte %s_SendChar(byte chr)" n);
+        (n ^ "_RecvChar", Printf.sprintf "byte %s_RecvChar(byte *chr)" n);
+        (n ^ "_GetCharsInRxBuf", Printf.sprintf "word %s_GetCharsInRxBuf(void)" n);
+      ]
+  | Free_cntr _ ->
+      [
+        (n ^ "_Reset", Printf.sprintf "byte %s_Reset(void)" n);
+        (n ^ "_GetCounterValue", Printf.sprintf "word %s_GetCounterValue(void)" n);
+      ]
+  | Watch_dog _ ->
+      [
+        (n ^ "_Enable", Printf.sprintf "byte %s_Enable(void)" n);
+        (n ^ "_Clear", Printf.sprintf "byte %s_Clear(void)" n);
+      ]
+
+let events t =
+  let n = t.bname in
+  match t.config with
+  | Timer_int _ -> [ n ^ "_OnInterrupt" ]
+  | Adc _ -> [ n ^ "_OnEnd" ]
+  | Serial _ -> [ n ^ "_OnRxChar"; n ^ "_OnTxChar" ]
+  | Pwm _ | Dac _ | Bit_io _ | Quad_dec _ | Free_cntr _ | Watch_dog _ -> []
+
+let properties t =
+  let common = [ ("Bean type", type_name t); ("Name", t.bname) ] in
+  let config_props =
+    match t.config with
+    | Timer_int { period; tolerance_frac } ->
+        [
+          ("Interrupt period", Printf.sprintf "%g ms" (period *. 1e3));
+          ("Tolerance", Printf.sprintf "%g %%" (tolerance_frac *. 100.0));
+        ]
+    | Adc { channel; resolution; vref; sample_period } ->
+        [
+          ( "A/D channel",
+            match channel with Some c -> string_of_int c | None -> "auto" );
+          ("Resolution", Printf.sprintf "%d bits" resolution);
+          ("Reference voltage", Printf.sprintf "%g V" vref);
+          ("Sample period", Printf.sprintf "%g ms" (sample_period *. 1e3));
+        ]
+    | Dac { channel; resolution; vref } ->
+        [
+          ( "DAC channel",
+            match channel with Some c -> string_of_int c | None -> "auto" );
+          ("Resolution", Printf.sprintf "%d bits" resolution);
+          ("Reference voltage", Printf.sprintf "%g V" vref);
+        ]
+    | Pwm { channel; freq_hz; initial_ratio } ->
+        [
+          ( "PWM channel",
+            match channel with Some c -> string_of_int c | None -> "auto" );
+          ("Carrier frequency", Printf.sprintf "%g kHz" (freq_hz /. 1e3));
+          ("Initial ratio", Printf.sprintf "%g" initial_ratio);
+        ]
+    | Bit_io { pin; direction; init } ->
+        [
+          ("Pin", pin);
+          ("Direction", match direction with In_pin -> "Input" | Out_pin -> "Output");
+          ("Init value", string_of_bool init);
+        ]
+    | Quad_dec { lines_per_rev } ->
+        [ ("Encoder lines/rev", string_of_int lines_per_rev) ]
+    | Serial { port; baud } ->
+        [
+          ( "SCI port",
+            match port with Some p -> string_of_int p | None -> "auto" );
+          ("Baud rate", string_of_int baud);
+        ]
+    | Free_cntr { tick } -> [ ("Tick", Printf.sprintf "%g us" (tick *. 1e6)) ]
+    | Watch_dog { timeout } ->
+        [ ("Timeout", Printf.sprintf "%g ms" (timeout *. 1e3)) ]
+  in
+  let resolved_props =
+    match t.resolved with
+    | None -> [ ("Status", if t.errors = [] then "unresolved" else "ERROR") ]
+    | Some (R_timer (sol, ch)) ->
+        [
+          ("Timer channel [computed]", string_of_int ch);
+          ("Prescaler [computed]", string_of_int sol.Expert.prescaler);
+          ("Modulo [computed]", string_of_int sol.Expert.modulo);
+          ( "Achieved period [computed]",
+            Printf.sprintf "%g ms (err %.3g %%)"
+              (sol.Expert.achieved_period *. 1e3)
+              (100.0 *. sol.Expert.error_frac) );
+        ]
+    | Some (R_adc { channel; conv_time; max_code }) ->
+        [
+          ("Channel [computed]", string_of_int channel);
+          ("Conversion time [computed]", Printf.sprintf "%.3g us" (conv_time *. 1e6));
+          ("Full-scale code [computed]", string_of_int max_code);
+        ]
+    | Some (R_dac { channel; max_code }) ->
+        [
+          ("Channel [computed]", string_of_int channel);
+          ("Full-scale code [computed]", string_of_int max_code);
+        ]
+    | Some (R_pwm { channel; period_counts; actual_freq; duty_bits }) ->
+        [
+          ("Channel [computed]", string_of_int channel);
+          ("Period counts [computed]", string_of_int period_counts);
+          ("Achieved carrier [computed]", Printf.sprintf "%.6g Hz" actual_freq);
+          ("Duty resolution [computed]", Printf.sprintf "%d bits" duty_bits);
+        ]
+    | Some R_bitio -> []
+    | Some (R_qdec { register_bits }) ->
+        [ ("Position register [computed]", Printf.sprintf "%d bits" register_bits) ]
+    | Some (R_serial { port; divisor; baud_error; byte_time }) ->
+        [
+          ("Port [computed]", string_of_int port);
+          ("Divisor [computed]", string_of_int divisor);
+          ("Baud error [computed]", Printf.sprintf "%.3g %%" (100.0 *. baud_error));
+          ("Byte time [computed]", Printf.sprintf "%.3g us" (byte_time *. 1e6));
+        ]
+    | Some (R_wdog { timeout_cycles }) ->
+        [ ("Timeout [computed]", Printf.sprintf "%d cycles" timeout_cycles) ]
+    | Some (R_free_cntr (sol, ch)) ->
+        [
+          ("Timer channel [computed]", string_of_int ch);
+          ( "Tick [computed]",
+            Printf.sprintf "%.3g us" (sol.Expert.achieved_period *. 1e6) );
+        ]
+  in
+  common @ config_props @ resolved_props

@@ -1,0 +1,73 @@
+(** Embedded Beans: the component model of Processor Expert.
+
+    "The functionality of the basic elements of the embedded systems like
+    the MCU core, the MCU on-chip peripherals etc. are encapsulated in
+    Embedded Beans. An interface to a bean is provided via properties,
+    methods, and events" (§4). A bean here is a typed configuration, a
+    resolution computed by the expert system against a concrete MCU, and
+    metadata (methods/events with C signatures) consumed by the Bean
+    Inspector, the code generator and the PEERT block set. *)
+
+type pin_direction = In_pin | Out_pin
+
+type config =
+  | Timer_int of { period : float; tolerance_frac : float }
+      (** periodic interrupt bean (the model's base-rate source) *)
+  | Adc of { channel : int option; resolution : int; vref : float;
+             sample_period : float }
+  | Pwm of { channel : int option; freq_hz : float; initial_ratio : float }
+  | Dac of { channel : int option; resolution : int; vref : float }
+      (** digital-to-analog converter output *)
+  | Bit_io of { pin : string; direction : pin_direction; init : bool }
+  | Quad_dec of { lines_per_rev : int }
+  | Serial of { port : int option; baud : int }
+  | Free_cntr of { tick : float }
+      (** free-running counter used for profiling time stamps *)
+  | Watch_dog of { timeout : float }
+      (** watchdog timer; generated code must call [_Clear] within the
+          timeout *)
+
+type resolved =
+  | R_timer of Expert.timer_solution * int  (** solution, claimed channel *)
+  | R_adc of { channel : int; conv_time : float; max_code : int }
+  | R_pwm of { channel : int; period_counts : int; actual_freq : float;
+               duty_bits : int }
+  | R_dac of { channel : int; max_code : int }
+  | R_bitio
+  | R_qdec of { register_bits : int }
+  | R_serial of { port : int; divisor : int; baud_error : float;
+                  byte_time : float }
+  | R_free_cntr of Expert.timer_solution * int
+  | R_wdog of { timeout_cycles : int }
+
+type t = {
+  bname : string;  (** instance name, e.g. "TI1", "AD1" *)
+  config : config;
+  mutable resolved : resolved option;
+  mutable errors : string list;
+  mutable warnings : string list;
+}
+
+val make : name:string -> config -> t
+
+val type_name : t -> string
+(** Bean type, e.g. "TimerInt", "ADC". *)
+
+val resolve : t -> Resources.t -> unit
+(** Run the expert system: validate the configuration against the MCU,
+    claim resources, and fill [resolved] or [errors]/[warnings]. Safe to
+    call again after changing [config] (resources are re-claimed). *)
+
+val is_valid : t -> bool
+(** True when resolved with no errors. *)
+
+val methods : t -> (string * string) list
+(** Method name and C prototype, prefixed by the instance name, e.g.
+    [("AD1_Measure", "void AD1_Measure(void)")]. *)
+
+val events : t -> string list
+(** Event handler names, e.g. ["AD1_OnEnd"]. *)
+
+val properties : t -> (string * string) list
+(** Property name/value pairs as the Bean Inspector displays them,
+    including expert-computed read-only values once resolved. *)

@@ -1,0 +1,406 @@
+open C_ast
+
+(* Synthesised register maps: per peripheral class, a family base address
+   and per-channel stride. The layout is invented but stable, so the
+   generated HAL has realistic register traffic without vendor headers. *)
+let base_of mcu kind =
+  let family_base =
+    match mcu.Mcu_db.family with
+    | "56F83xx" -> 0xF000
+    | "HCS12" -> 0x0040
+    | _ -> 0x4000_0000
+  in
+  let offset =
+    match kind with
+    | `Timer -> 0x0C0
+    | `Adc -> 0x180
+    | `Pwm -> 0x200
+    | `Dac -> 0x260
+    | `Gpio -> 0x2C0
+    | `Qdec -> 0x300
+    | `Sci -> 0x340
+    | `Wdog -> 0x3C0
+  in
+  family_base + offset
+
+let reg name = Call ("REG16", [ Var name ])
+
+let def_reg defs nm addr = defs := Define (nm, Printf.sprintf "0x%04X" addr) :: !defs
+
+let method_comment t what =
+  Printf.sprintf "%s_%s - %s (bean %s, generated method)" t.Bean.bname what what
+    (Bean.type_name t)
+
+let unresolved t =
+  invalid_arg (Printf.sprintf "Bean_code: bean %s is not resolved" t.Bean.bname)
+
+let unit_of_bean mcu t =
+  let n = t.Bean.bname in
+  let defs = ref [] in
+  let items =
+    match (t.Bean.config, t.Bean.resolved) with
+    | Bean.Timer_int _, Some (Bean.R_timer (sol, ch)) ->
+        let base = base_of mcu `Timer + (ch * 0x10) in
+        def_reg defs (n ^ "_CTRL") base;
+        def_reg defs (n ^ "_LOAD") (base + 2);
+        def_reg defs (n ^ "_CMPLD") (base + 4);
+        def_reg defs (n ^ "_SCR") (base + 6);
+        let prescaler_bits =
+          (* encode the prescaler selection as its log2 in CTRL[8:11] *)
+          int_of_float (log (float_of_int sol.Expert.prescaler) /. log 2.0)
+        in
+        [
+          Func_def
+            (func ~comment:(method_comment t "Enable") (Named "byte")
+               (n ^ "_Enable") []
+               [
+                 Comment
+                   (Printf.sprintf "prescaler /%d, modulo %d -> %.6g ms period"
+                      sol.Expert.prescaler sol.Expert.modulo
+                      (sol.Expert.achieved_period *. 1e3));
+                 Assign (reg (n ^ "_CMPLD"), Int_lit (sol.Expert.modulo - 1));
+                 Assign
+                   ( reg (n ^ "_CTRL"),
+                     Bin
+                       ( "|",
+                         Hex_lit 0x3001 (* count rising edges, reload, run *),
+                         Int_lit (prescaler_bits lsl 8) ) );
+                 Assign (reg (n ^ "_SCR"), Hex_lit 0x4000 (* compare IRQ enable *));
+                 Return (Some (Var "ERR_OK"));
+               ]);
+          Func_def
+            (func ~comment:(method_comment t "Disable") (Named "byte")
+               (n ^ "_Disable") []
+               [
+                 Assign (reg (n ^ "_CTRL"), Hex_lit 0x0000);
+                 Return (Some (Var "ERR_OK"));
+               ]);
+        ]
+    | Bean.Adc { resolution; _ }, Some (Bean.R_adc { channel; max_code; _ }) ->
+        let base = base_of mcu `Adc in
+        def_reg defs (n ^ "_CTRL1") base;
+        def_reg defs (n ^ "_STAT") (base + 2);
+        def_reg defs (n ^ "_RSLT") (base + 4 + (2 * channel));
+        [
+          Func_def
+            (func ~comment:(method_comment t "Measure") (Named "byte")
+               (n ^ "_Measure")
+               [ (Named "bool", "wait") ]
+               [
+                 Comment
+                   (Printf.sprintf "start single conversion, channel %d, %d-bit"
+                      channel resolution);
+                 Assign
+                   ( reg (n ^ "_CTRL1"),
+                     Bin ("|", Hex_lit 0x2000, Int_lit channel) );
+                 If
+                   ( Var "wait",
+                     [
+                       While
+                         ( Bin ("==", Bin ("&", reg (n ^ "_STAT"), Hex_lit 0x0800),
+                                Int_lit 0),
+                           [ Comment "busy-wait for end of scan" ] );
+                     ],
+                     [] );
+                 Return (Some (Var "ERR_OK"));
+               ]);
+          Func_def
+            (func ~comment:(method_comment t "GetValue") (Named "byte")
+               (n ^ "_GetValue")
+               [ (Ptr U16, "value") ]
+               [
+                 Comment (Printf.sprintf "right-aligned result, full scale %d" max_code);
+                 Assign (Un ("*", Var "value"), reg (n ^ "_RSLT"));
+                 Return (Some (Var "ERR_OK"));
+               ]);
+        ]
+    | Bean.Pwm _, Some (Bean.R_pwm { channel; period_counts; actual_freq; _ }) ->
+        let base = base_of mcu `Pwm + (channel * 0x08) in
+        def_reg defs (n ^ "_CMOD") base;
+        def_reg defs (n ^ "_CVAL") (base + 2);
+        def_reg defs (n ^ "_CTRL") (base + 4);
+        [
+          Func_def
+            (func ~comment:(method_comment t "Enable") (Named "byte")
+               (n ^ "_Enable") []
+               [
+                 Comment
+                   (Printf.sprintf "carrier %.6g Hz (%d counts)" actual_freq
+                      period_counts);
+                 Assign (reg (n ^ "_CMOD"), Int_lit period_counts);
+                 Assign (reg (n ^ "_CTRL"), Hex_lit 0x0001);
+                 Return (Some (Var "ERR_OK"));
+               ]);
+          Func_def
+            (func ~comment:(method_comment t "SetRatio16") (Named "byte")
+               (n ^ "_SetRatio16")
+               [ (U16, "ratio") ]
+               [
+                 Decl
+                   ( U32, "val",
+                     Some
+                       (Bin
+                          ( ">>",
+                            Bin
+                              ( "*",
+                                Cast_to (U32, Var "ratio"),
+                                Cast_to (U32, Int_lit period_counts) ),
+                            Int_lit 16 )) );
+                 Assign (reg (n ^ "_CVAL"), Cast_to (U16, Var "val"));
+                 Return (Some (Var "ERR_OK"));
+               ]);
+        ]
+    | Bean.Dac { resolution; vref; _ }, Some (Bean.R_dac { channel; max_code }) ->
+        let base = base_of mcu `Dac + (channel * 0x08) in
+        def_reg defs (n ^ "_CTRL") base;
+        def_reg defs (n ^ "_DATA") (base + 2);
+        [
+          Func_def
+            (func ~comment:(method_comment t "Enable") (Named "byte")
+               (n ^ "_Enable") []
+               [
+                 Comment
+                   (Printf.sprintf "%d-bit DAC, %g V full scale" resolution vref);
+                 Assign (reg (n ^ "_CTRL"), Hex_lit 0x0001);
+                 Return (Some (Var "ERR_OK"));
+               ]);
+          Func_def
+            (func ~comment:(method_comment t "SetValue") (Named "byte")
+               (n ^ "_SetValue")
+               [ (U16, "value") ]
+               [
+                 Comment (Printf.sprintf "clamped to the %d full-scale code" max_code);
+                 If
+                   ( Bin (">", Var "value", Int_lit max_code),
+                     [ Assign (Var "value", Int_lit max_code) ],
+                     [] );
+                 Assign (reg (n ^ "_DATA"), Var "value");
+                 Return (Some (Var "ERR_OK"));
+               ]);
+        ]
+    | Bean.Bit_io { pin; direction; init }, Some Bean.R_bitio ->
+        let base = base_of mcu `Gpio in
+        def_reg defs (n ^ "_DATA") base;
+        def_reg defs (n ^ "_DDIR") (base + 2);
+        let bit = Hashtbl.hash pin land 0x7 in
+        let mask = 1 lsl bit in
+        (match direction with
+        | Bean.Out_pin ->
+            [
+              Func_def
+                (func ~comment:(method_comment t "Init") Void (n ^ "_Init") []
+                   [
+                     Comment (Printf.sprintf "pin %s as output, init %b" pin init);
+                     Assign
+                       (reg (n ^ "_DDIR"), Bin ("|", reg (n ^ "_DDIR"), Hex_lit mask));
+                     (if init then
+                        Assign
+                          (reg (n ^ "_DATA"),
+                           Bin ("|", reg (n ^ "_DATA"), Hex_lit mask))
+                      else
+                        Assign
+                          (reg (n ^ "_DATA"),
+                           Bin ("&", reg (n ^ "_DATA"), Hex_lit (lnot mask land 0xFFFF))));
+                   ]);
+              Func_def
+                (func ~comment:(method_comment t "PutVal") Void (n ^ "_PutVal")
+                   [ (Named "bool", "value") ]
+                   [
+                     If
+                       ( Var "value",
+                         [
+                           Assign
+                             ( reg (n ^ "_DATA"),
+                               Bin ("|", reg (n ^ "_DATA"), Hex_lit mask) );
+                         ],
+                         [
+                           Assign
+                             ( reg (n ^ "_DATA"),
+                               Bin
+                                 ( "&",
+                                   reg (n ^ "_DATA"),
+                                   Hex_lit (lnot mask land 0xFFFF) ) );
+                         ] );
+                   ]);
+            ]
+        | Bean.In_pin ->
+            [
+              Func_def
+                (func ~comment:(method_comment t "GetVal") (Named "bool")
+                   (n ^ "_GetVal") []
+                   [
+                     Return
+                       (Some
+                          (Ternary
+                             ( Bin ("&", reg (n ^ "_DATA"), Hex_lit mask),
+                               Int_lit 1, Int_lit 0 )));
+                   ]);
+            ])
+    | Bean.Quad_dec _, Some (Bean.R_qdec { register_bits }) ->
+        let base = base_of mcu `Qdec in
+        def_reg defs (n ^ "_POSD") base;
+        def_reg defs (n ^ "_CTRL") (base + 2);
+        [
+          Func_def
+            (func ~comment:(method_comment t "GetPosition") U16
+               (n ^ "_GetPosition") []
+               [
+                 Comment (Printf.sprintf "%d-bit position register" register_bits);
+                 Return (Some (reg (n ^ "_POSD")));
+               ]);
+          Func_def
+            (func ~comment:(method_comment t "ResetPosition") (Named "byte")
+               (n ^ "_ResetPosition") []
+               [
+                 Assign (reg (n ^ "_POSD"), Int_lit 0);
+                 Return (Some (Var "ERR_OK"));
+               ]);
+        ]
+    | Bean.Serial { baud; _ }, Some (Bean.R_serial { port; divisor; _ }) ->
+        let base = base_of mcu `Sci + (port * 0x10) in
+        def_reg defs (n ^ "_BAUD") base;
+        def_reg defs (n ^ "_CTRL") (base + 2);
+        def_reg defs (n ^ "_STAT") (base + 4);
+        def_reg defs (n ^ "_DATA") (base + 6);
+        [
+          Func_def
+            (func ~comment:(method_comment t "Init") Void (n ^ "_Init") []
+               [
+                 Comment (Printf.sprintf "%d baud (divisor %d)" baud divisor);
+                 Assign (reg (n ^ "_BAUD"), Int_lit divisor);
+                 Assign (reg (n ^ "_CTRL"), Hex_lit 0x002C (* TE|RE|RIE *));
+               ]);
+          Func_def
+            (func ~comment:(method_comment t "SendChar") (Named "byte")
+               (n ^ "_SendChar")
+               [ (Named "byte", "chr") ]
+               [
+                 While
+                   ( Bin ("==", Bin ("&", reg (n ^ "_STAT"), Hex_lit 0x8000), Int_lit 0),
+                     [ Comment "wait for transmit data register empty" ] );
+                 Assign (reg (n ^ "_DATA"), Var "chr");
+                 Return (Some (Var "ERR_OK"));
+               ]);
+          Func_def
+            (func ~comment:(method_comment t "RecvChar") (Named "byte")
+               (n ^ "_RecvChar")
+               [ (Ptr (Named "byte"), "chr") ]
+               [
+                 If
+                   ( Bin ("==", Bin ("&", reg (n ^ "_STAT"), Hex_lit 0x4000), Int_lit 0),
+                     [ Return (Some (Var "ERR_RXEMPTY")) ],
+                     [] );
+                 Assign (Un ("*", Var "chr"), Cast_to (Named "byte", reg (n ^ "_DATA")));
+                 Return (Some (Var "ERR_OK"));
+               ]);
+        ]
+    | Bean.Watch_dog { timeout }, Some (Bean.R_wdog { timeout_cycles }) ->
+        let base = base_of mcu `Wdog in
+        def_reg defs (n ^ "_CTRL") base;
+        def_reg defs (n ^ "_CNT") (base + 2);
+        [
+          Func_def
+            (func ~comment:(method_comment t "Enable") (Named "byte")
+               (n ^ "_Enable") []
+               [
+                 Comment
+                   (Printf.sprintf "%g ms timeout (%d cycles)" (timeout *. 1e3)
+                      timeout_cycles);
+                 Assign (reg (n ^ "_CTRL"), Hex_lit 0x0001);
+                 Return (Some (Var "ERR_OK"));
+               ]);
+          Func_def
+            (func ~comment:(method_comment t "Clear") (Named "byte")
+               (n ^ "_Clear") []
+               [
+                 Comment "service sequence: 0x5555 then 0xAAAA";
+                 Assign (reg (n ^ "_CNT"), Hex_lit 0x5555);
+                 Assign (reg (n ^ "_CNT"), Hex_lit 0xAAAA);
+                 Return (Some (Var "ERR_OK"));
+               ]);
+        ]
+    | Bean.Free_cntr _, Some (Bean.R_free_cntr (sol, ch)) ->
+        let base = base_of mcu `Timer + (ch * 0x10) in
+        def_reg defs (n ^ "_CNTR") base;
+        def_reg defs (n ^ "_CTRL") (base + 2);
+        [
+          Func_def
+            (func ~comment:(method_comment t "Reset") (Named "byte") (n ^ "_Reset")
+               []
+               [
+                 Assign (reg (n ^ "_CNTR"), Int_lit 0);
+                 Return (Some (Var "ERR_OK"));
+               ]);
+          Func_def
+            (func ~comment:(method_comment t "GetCounterValue") U16
+               (n ^ "_GetCounterValue") []
+               [
+                 Comment
+                   (Printf.sprintf "tick %.4g us"
+                      (sol.Expert.achieved_period *. 1e6));
+                 Return (Some (reg (n ^ "_CNTR")));
+               ]);
+        ]
+    | _, None -> unresolved t
+    | _, Some _ -> unresolved t
+  in
+  {
+    unit_name = n ^ ".c";
+    items =
+      Include_local "PE_Types.h"
+      :: Item_comment
+           (Printf.sprintf "Bean %s of type %s on %s" n (Bean.type_name t)
+              mcu.Mcu_db.name)
+      :: List.rev !defs
+      @ items;
+  }
+
+let types_header mcu =
+  {
+    unit_name = "PE_Types.h";
+    items =
+      [
+        Item_comment
+          (Printf.sprintf "Shared HAL types and register access for %s (%s core)"
+             mcu.Mcu_db.name mcu.Mcu_db.core);
+        Include "stdint.h";
+        Typedef (U8, "byte");
+        Typedef (U16, "word");
+        Typedef (U32, "dword");
+        Typedef (U8, "bool");
+        Define ("ERR_OK", "0");
+        Define ("ERR_RXEMPTY", "12");
+        Define ("REG16(addr)", "(*(volatile uint16_t *)(uintptr_t)(addr))");
+      ];
+  }
+
+let isr_vector_table mcu beans =
+  let handlers =
+    List.concat_map
+      (fun b -> List.map (fun ev -> (b, ev)) (Bean.events b))
+      beans
+  in
+  {
+    unit_name = "Vectors.c";
+    items =
+      Item_comment
+        (Printf.sprintf "Interrupt dispatch for %s: hardware vectors to bean events"
+           mcu.Mcu_db.name)
+      :: Include_local "PE_Types.h"
+      :: List.concat
+           (List.mapi
+              (fun i (b, ev) ->
+                [
+                  Proto (func Void ev [] []);
+                  Func_def
+                    (func
+                       ~comment:
+                         (Printf.sprintf "vector %d -> %s (%s)" (i + 16) ev
+                            (Bean.type_name b))
+                       Void
+                       (Printf.sprintf "ISR_Vector%d" (i + 16))
+                       []
+                       [ Expr (Call (ev, [])) ]);
+                ])
+              handlers);
+  }

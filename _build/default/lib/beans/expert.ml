@@ -1,0 +1,162 @@
+type timer_solution = {
+  prescaler : int;
+  modulo : int;
+  achieved_period : float;
+  error_frac : float;
+}
+
+let solve_timer_period mcu ~period =
+  if period <= 0.0 then Error "timer period must be positive"
+  else begin
+    let f_cpu = mcu.Mcu_db.f_cpu_hz in
+    let max_modulo = 1 lsl mcu.Mcu_db.timer.Mcu_db.counter_bits in
+    let target_cycles = period *. f_cpu in
+    let candidates =
+      List.filter_map
+        (fun prescaler ->
+          let modulo =
+            int_of_float (Float.round (target_cycles /. float_of_int prescaler))
+          in
+          if modulo < 1 || modulo > max_modulo then None
+          else
+            let achieved = float_of_int (prescaler * modulo) /. f_cpu in
+            Some
+              {
+                prescaler;
+                modulo;
+                achieved_period = achieved;
+                error_frac = Float.abs (achieved -. period) /. period;
+              })
+        mcu.Mcu_db.timer.Mcu_db.prescalers
+    in
+    match candidates with
+    | [] ->
+        Error
+          (Printf.sprintf
+             "period %.3g s is unattainable on %s (no prescaler/modulo fits)"
+             period mcu.Mcu_db.name)
+    | c :: rest ->
+        (* Prefer the smallest error; tie-break on the smallest prescaler
+           (finest granularity for later adjustment). *)
+        let best =
+          List.fold_left
+            (fun best c ->
+              if
+                c.error_frac < best.error_frac -. 1e-15
+                || (Float.abs (c.error_frac -. best.error_frac) < 1e-15
+                    && c.prescaler < best.prescaler)
+              then c
+              else best)
+            c rest
+        in
+        Ok best
+  end
+
+let solve_timer_frequency mcu ~hz =
+  if hz <= 0.0 then Error "timer frequency must be positive"
+  else solve_timer_period mcu ~period:(1.0 /. hz)
+
+let check_period_tolerance sol ~tolerance_frac =
+  if sol.error_frac <= tolerance_frac then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "achieved period %.6g s deviates %.3g %% from request (tolerance %.3g %%)"
+         sol.achieved_period (100.0 *. sol.error_frac)
+         (100.0 *. tolerance_frac))
+
+let solve_pwm_period mcu ~hz =
+  if hz <= 0.0 then Error "PWM frequency must be positive"
+  else begin
+    let f_cpu = mcu.Mcu_db.f_cpu_hz in
+    let max_counts = (1 lsl mcu.Mcu_db.pwm.Mcu_db.pwm_counter_bits) - 1 in
+    let counts = int_of_float (Float.round (f_cpu /. hz)) in
+    if counts < 2 then
+      Error
+        (Printf.sprintf "PWM frequency %.3g Hz too high for %s (needs >= 2 counts)"
+           hz mcu.Mcu_db.name)
+    else if counts > max_counts then
+      Error
+        (Printf.sprintf
+           "PWM frequency %.3g Hz too low for %s (%d counts exceed the %d-bit counter)"
+           hz mcu.Mcu_db.name counts mcu.Mcu_db.pwm.Mcu_db.pwm_counter_bits)
+    else Ok (counts, f_cpu /. float_of_int counts)
+  end
+
+let check_adc_sampling mcu ~sample_period =
+  if sample_period <= 0.0 then Error "sample period must be positive"
+  else begin
+    let conv =
+      float_of_int mcu.Mcu_db.adc.Mcu_db.conv_cycles /. mcu.Mcu_db.f_cpu_hz
+    in
+    (* require 20 % headroom so the EOC interrupt and readout fit *)
+    if conv *. 1.2 > sample_period then
+      Error
+        (Printf.sprintf
+           "ADC conversion takes %.3g us; a %.3g us sampling period leaves no headroom"
+           (conv *. 1e6) (sample_period *. 1e6))
+    else Ok ()
+  end
+
+let solve_sci_divisor mcu ~baud =
+  if baud <= 0 then Error "baud rate must be positive"
+  else begin
+    (* classic SCI: baud = f_cpu / (16 * divisor) *)
+    let f_cpu = mcu.Mcu_db.f_cpu_hz in
+    let div = int_of_float (Float.round (f_cpu /. (16.0 *. float_of_int baud))) in
+    if div < 1 || div > 0xFFFF then
+      Error (Printf.sprintf "baud %d out of SCI divisor range on %s" baud mcu.Mcu_db.name)
+    else begin
+      let actual = f_cpu /. (16.0 *. float_of_int div) in
+      let err = Float.abs (actual -. float_of_int baud) /. float_of_int baud in
+      if err > 0.03 then
+        Error
+          (Printf.sprintf "baud %d only achievable with %.1f %% error (limit 3 %%)"
+             baud (100.0 *. err))
+      else Ok (div, err)
+    end
+  end
+
+let achievable_timer_range mcu =
+  let f_cpu = mcu.Mcu_db.f_cpu_hz in
+  let max_modulo = 1 lsl mcu.Mcu_db.timer.Mcu_db.counter_bits in
+  let ps = mcu.Mcu_db.timer.Mcu_db.prescalers in
+  let min_p = List.fold_left Stdlib.min max_int ps in
+  let max_p = List.fold_left Stdlib.max 0 ps in
+  (float_of_int min_p /. f_cpu, float_of_int (max_p * max_modulo) /. f_cpu)
+
+type pll_solution = {
+  multiplier : int;
+  divider : int;
+  achieved_hz : float;
+  pll_error_frac : float;
+}
+
+let solve_pll ~crystal_hz ~target_hz ?(mult_range = (1, 64)) ?(div_range = (1, 16))
+    ?(vco_max_hz = 400e6) () =
+  if crystal_hz <= 0.0 || target_hz <= 0.0 then
+    Error "clock frequencies must be positive"
+  else begin
+    let m_lo, m_hi = mult_range and d_lo, d_hi = div_range in
+    let best = ref None in
+    for m = m_lo to m_hi do
+      if crystal_hz *. float_of_int m <= vco_max_hz then
+        for d = d_lo to d_hi do
+          let f = crystal_hz *. float_of_int m /. float_of_int d in
+          let err = Float.abs (f -. target_hz) /. target_hz in
+          match !best with
+          | Some (_, _, _, e) when e <= err -> ()
+          | _ -> best := Some (m, d, f, err)
+        done
+    done;
+    match !best with
+    | Some (multiplier, divider, achieved_hz, pll_error_frac)
+      when pll_error_frac <= 0.02 ->
+        Ok { multiplier; divider; achieved_hz; pll_error_frac }
+    | Some (_, _, f, e) ->
+        Error
+          (Printf.sprintf
+             "target %.4g MHz unreachable from a %.4g MHz crystal (closest %.4g MHz, %.1f %% off)"
+             (target_hz /. 1e6) (crystal_hz /. 1e6) (f /. 1e6) (100.0 *. e))
+    | None -> Error "VCO ceiling rules out every multiplier"
+  end

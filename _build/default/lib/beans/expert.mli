@@ -1,0 +1,66 @@
+(** The expert system behind the Bean Inspector.
+
+    Processor Expert's differentiator (§4): "some design parameters, such
+    as settings of common prescalers or useable resources for the needed
+    functionality are calculated by the expert system. Verification of
+    user decisions is provided." These are those calculations: closed-form
+    searches over the MCU's legal register settings, returning either the
+    best achievable configuration or a diagnosed error. *)
+
+type timer_solution = {
+  prescaler : int;
+  modulo : int;
+  achieved_period : float;  (** seconds *)
+  error_frac : float;  (** |achieved - requested| / requested *)
+}
+
+val solve_timer_period :
+  Mcu_db.t -> period:float -> (timer_solution, string) result
+(** Choose the (prescaler, modulo) pair minimising period error for an
+    interrupt period in seconds. Fails when the period is outside the
+    attainable range of any prescaler at the MCU clock. *)
+
+val solve_timer_frequency :
+  Mcu_db.t -> hz:float -> (timer_solution, string) result
+
+val check_period_tolerance :
+  timer_solution -> tolerance_frac:float -> (unit, string) result
+(** Reject solutions whose residual error exceeds the user tolerance. *)
+
+val solve_pwm_period :
+  Mcu_db.t -> hz:float -> (int * float, string) result
+(** Counter modulo and achieved frequency for a PWM carrier. *)
+
+val check_adc_sampling :
+  Mcu_db.t -> sample_period:float -> (unit, string) result
+(** Validate that one conversion fits into the requested sampling period
+    with margin — the time-domain validation the paper says existing
+    targets lack (§3.1). *)
+
+val solve_sci_divisor : Mcu_db.t -> baud:int -> (int * float, string) result
+(** SCI divisor register and the actual baud rate error fraction. Errors
+    above 3 % (the RS-232 tolerance budget) are rejected. *)
+
+val achievable_timer_range : Mcu_db.t -> float * float
+(** Shortest and longest attainable interrupt periods. *)
+
+type pll_solution = {
+  multiplier : int;
+  divider : int;
+  achieved_hz : float;
+  pll_error_frac : float;
+}
+
+val solve_pll :
+  crystal_hz:float ->
+  target_hz:float ->
+  ?mult_range:int * int ->
+  ?div_range:int * int ->
+  ?vco_max_hz:float ->
+  unit ->
+  (pll_solution, string) result
+(** The CPU bean's clock computation: pick PLL multiplier/divider so that
+    [crystal * mult / div] approaches the requested core clock without
+    the VCO ([crystal * mult]) exceeding its ceiling. Defaults: mult
+    1..64, div 1..16, VCO limit 400 MHz. Rejects targets missed by more
+    than 2 %. *)

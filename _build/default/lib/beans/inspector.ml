@@ -1,0 +1,55 @@
+let render_bean b =
+  let buf = Buffer.create 512 in
+  let table = Table.create ~title:(Printf.sprintf "Bean Inspector %s:%s"
+                                     (Bean.type_name b) b.Bean.bname)
+      [ "Property"; "Value" ]
+  in
+  List.iter (fun (k, v) -> Table.add_row table [ k; v ]) (Bean.properties b);
+  Buffer.add_string buf (Table.render ~align:[ Table.Left; Table.Left ] table);
+  let methods = Bean.methods b in
+  if methods <> [] then begin
+    Buffer.add_string buf "Methods:\n";
+    List.iter
+      (fun (_, proto) -> Buffer.add_string buf (Printf.sprintf "  %s\n" proto))
+      methods
+  end;
+  let events = Bean.events b in
+  if events <> [] then begin
+    Buffer.add_string buf "Events:\n";
+    List.iter (fun e -> Buffer.add_string buf (Printf.sprintf "  %s\n" e)) events
+  end;
+  List.iter
+    (fun w -> Buffer.add_string buf (Printf.sprintf "WARNING: %s\n" w))
+    b.Bean.warnings;
+  List.iter
+    (fun e -> Buffer.add_string buf (Printf.sprintf "ERROR: %s\n" e))
+    b.Bean.errors;
+  Buffer.contents buf
+
+let render_project p =
+  let mcu = Bean_project.mcu p in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "Project window -- CPU bean: %s (%s, %.0f MHz, %d KiB flash, %d KiB RAM)\n"
+       mcu.Mcu_db.name mcu.Mcu_db.core
+       (mcu.Mcu_db.f_cpu_hz /. 1e6)
+       (mcu.Mcu_db.flash_bytes / 1024)
+       (mcu.Mcu_db.ram_bytes / 1024));
+  let table = Table.create [ "Bean"; "Type"; "Status" ] in
+  List.iter
+    (fun b ->
+      let status =
+        if Bean.is_valid b then
+          if b.Bean.warnings = [] then "OK"
+          else Printf.sprintf "OK (%d warnings)" (List.length b.Bean.warnings)
+        else "ERROR"
+      in
+      Table.add_row table [ b.Bean.bname; Bean.type_name b; status ])
+    (Bean_project.beans p);
+  Buffer.add_string buf (Table.render table);
+  Buffer.add_string buf "Resource allocation:\n";
+  List.iter
+    (fun (resource, owner) ->
+      Buffer.add_string buf (Printf.sprintf "  %-16s -> %s\n" resource owner))
+    (Resources.claims (Bean_project.resources p));
+  Buffer.contents buf

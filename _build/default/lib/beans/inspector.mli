@@ -1,0 +1,13 @@
+(** Bean Inspector rendering (Fig 4.1).
+
+    The Bean Inspector is Processor Expert's dialog of properties,
+    methods and events with live verification; this module renders the
+    same view as text for the terminal and the experiment harness. *)
+
+val render_bean : Bean.t -> string
+(** Properties (configuration plus expert-computed values), methods,
+    events, and any errors/warnings of one bean. *)
+
+val render_project : Bean_project.t -> string
+(** Project window: the CPU bean and every peripheral bean with its
+    status, plus the resource allocation map. *)

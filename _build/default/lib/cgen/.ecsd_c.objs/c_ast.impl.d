@@ -1,0 +1,1 @@
+lib/cgen/c_ast.ml: Dtype Qformat

@@ -1,0 +1,1 @@
+lib/cgen/c_print.ml: C_ast Float List Printf String

@@ -1,0 +1,1 @@
+lib/cgen/c_print.mli: C_ast

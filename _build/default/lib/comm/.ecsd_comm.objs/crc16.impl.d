@@ -1,0 +1,1 @@
+lib/comm/crc16.ml: Char List String

@@ -1,0 +1,1 @@
+lib/comm/crc16.mli:

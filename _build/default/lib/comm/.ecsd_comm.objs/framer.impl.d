@@ -1,0 +1,1 @@
+lib/comm/framer.ml: Crc16 List Packet

@@ -1,0 +1,1 @@
+lib/comm/packet.ml: Crc16 List

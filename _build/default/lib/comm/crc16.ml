@@ -1,0 +1,13 @@
+let init = 0xFFFF
+
+let update crc byte =
+  let crc = ref (crc lxor (byte lsl 8)) in
+  for _ = 1 to 8 do
+    crc :=
+      if !crc land 0x8000 <> 0 then ((!crc lsl 1) lxor 0x1021) land 0xFFFF
+      else (!crc lsl 1) land 0xFFFF
+  done;
+  !crc
+
+let of_bytes bytes = List.fold_left update init bytes
+let of_string s = String.fold_left (fun acc c -> update acc (Char.code c)) init s

@@ -1,0 +1,10 @@
+(** CRC-16/CCITT-FALSE, the frame check sequence of the PIL link. *)
+
+val init : int
+(** Initial register value (0xFFFF). *)
+
+val update : int -> int -> int
+(** [update crc byte] folds one byte (0..255) into the register. *)
+
+val of_bytes : int list -> int
+val of_string : string -> int

@@ -1,0 +1,86 @@
+type state = Hunting | In_frame | In_escape
+
+type t = {
+  on_packet : Packet.t -> unit;
+  mutable state : state;
+  mutable buf : int list;  (* unstuffed frame bytes, reversed *)
+  mutable count : int;
+  mutable expected_len : int option;  (* payload length once the header is in *)
+  mutable crc_errors : int;
+  mutable dropped : int;
+  mutable ok : int;
+}
+
+let create ~on_packet =
+  {
+    on_packet;
+    state = Hunting;
+    buf = [];
+    count = 0;
+    expected_len = None;
+    crc_errors = 0;
+    dropped = 0;
+    ok = 0;
+  }
+
+let restart t =
+  t.buf <- [];
+  t.count <- 0;
+  t.expected_len <- None
+
+let finish_frame t =
+  let bytes = List.rev t.buf in
+  restart t;
+  t.state <- Hunting;
+  match bytes with
+  | ptype :: seq :: len :: rest when List.length rest = len + 2 ->
+      let payload = List.filteri (fun i _ -> i < len) rest in
+      let crc_bytes = List.filteri (fun i _ -> i >= len) rest in
+      let expected = Crc16.of_bytes (ptype :: seq :: len :: payload) in
+      (match crc_bytes with
+      | [ hi; lo ] when ((hi lsl 8) lor lo) = expected ->
+          t.ok <- t.ok + 1;
+          t.on_packet { Packet.ptype; seq; payload }
+      | _ -> t.crc_errors <- t.crc_errors + 1)
+  | _ -> t.crc_errors <- t.crc_errors + 1
+
+let accept t byte =
+  t.buf <- byte :: t.buf;
+  t.count <- t.count + 1;
+  (* the third header byte is the payload length; the frame is complete at
+     3 + len + 2 unstuffed bytes *)
+  if t.count = 3 then t.expected_len <- Some byte;
+  match t.expected_len with
+  | Some len when t.count = 3 + len + 2 -> finish_frame t
+  | _ -> ()
+
+let feed t byte =
+  let byte = byte land 0xFF in
+  match t.state with
+  | Hunting ->
+      if byte = Packet.sof then begin
+        t.state <- In_frame;
+        restart t
+      end
+      else t.dropped <- t.dropped + 1
+  | In_frame ->
+      if byte = Packet.sof then begin
+        (* unterminated frame: count it lost, resynchronise *)
+        if t.count > 0 then t.crc_errors <- t.crc_errors + 1;
+        t.state <- In_frame;
+        restart t
+      end
+      else if byte = Packet.esc then t.state <- In_escape
+      else accept t byte
+  | In_escape ->
+      t.state <- In_frame;
+      accept t (byte lxor 0x20)
+
+let feed_all t bytes = List.iter (feed t) bytes
+let crc_errors t = t.crc_errors
+let dropped_bytes t = t.dropped
+let packets_ok t = t.ok
+
+let reset t =
+  t.state <- Hunting;
+  restart t

@@ -1,0 +1,47 @@
+type t = { ptype : int; seq : int; payload : int list }
+
+let sof = 0x7E
+let esc = 0x7D
+let ptype_sensor = 0x01
+let ptype_actuator = 0x02
+let ptype_event = 0x03
+let ptype_sync = 0x04
+
+let check_byte b =
+  if b < 0 || b > 255 then invalid_arg "Packet: byte out of range"
+
+let stuff bytes =
+  List.concat_map
+    (fun b -> if b = sof || b = esc then [ esc; b lxor 0x20 ] else [ b ])
+    bytes
+
+let encode t =
+  check_byte t.ptype;
+  check_byte t.seq;
+  List.iter check_byte t.payload;
+  let len = List.length t.payload in
+  if len > 255 then invalid_arg "Packet.encode: payload too long";
+  let body = (t.ptype :: t.seq :: len :: t.payload) in
+  let crc = Crc16.of_bytes body in
+  let framed = body @ [ (crc lsr 8) land 0xFF; crc land 0xFF ] in
+  sof :: stuff framed
+
+let wire_length t = List.length (encode t)
+
+let push_u16 v acc =
+  let v = v land 0xFFFF in
+  (v land 0xFF) :: ((v lsr 8) land 0xFF) :: acc
+
+let push_u8 v acc = (v land 0xFF) :: acc
+let finish_payload acc = List.rev acc
+
+let take_u16 = function
+  | hi :: lo :: rest -> (((hi land 0xFF) lsl 8) lor (lo land 0xFF), rest)
+  | _ -> invalid_arg "Packet.take_u16: payload too short"
+
+let take_u8 = function
+  | b :: rest -> (b land 0xFF, rest)
+  | [] -> invalid_arg "Packet.take_u8: payload too short"
+
+let u16_to_signed v = if v land 0x8000 <> 0 then v - 0x10000 else v
+let signed_to_u16 v = v land 0xFFFF

@@ -1,0 +1,58 @@
+(** PIL link packet format.
+
+    An HDLC-style byte framing over the RS-232 line: a start flag, byte
+    stuffing for transparency, and a CRC-16 trailer. One packet carries
+    one simulation step's worth of signals in each direction (§6: the
+    plant and controller "exchange the simulation data at the end of each
+    simulation step"). Wire layout before stuffing:
+
+    {v SOF | type | seq | len | payload[len] | crc_hi | crc_lo v} *)
+
+type t = { ptype : int; seq : int; payload : int list }
+
+val sof : int
+(** 0x7E frame delimiter. *)
+
+val esc : int
+(** 0x7D escape; the following byte is XORed with 0x20. *)
+
+(** Conventional packet types of the PIL protocol: *)
+
+val ptype_sensor : int
+(** host -> target: sensor/peripheral inputs. *)
+
+val ptype_actuator : int
+(** target -> host: actuator outputs. *)
+
+val ptype_event : int
+(** asynchronous event notification. *)
+
+val ptype_sync : int
+(** step synchronisation / handshake. *)
+
+val encode : t -> int list
+(** Serialise to wire bytes (stuffed, CRC appended).
+    @raise Invalid_argument if the payload exceeds 255 bytes or any byte
+    is out of 0..255. *)
+
+val wire_length : t -> int
+(** Number of wire bytes [encode] produces (the comm-overhead metric). *)
+
+(** {2 Payload packing helpers (big endian)} *)
+
+val push_u16 : int -> int list -> int list
+(** Prepend a 16-bit value (two bytes) onto an accumulator list kept in
+    reverse order; use with {!finish_payload}. *)
+
+val push_u8 : int -> int list -> int list
+val finish_payload : int list -> int list
+(** Reverse the accumulator into payload order. *)
+
+val take_u16 : int list -> int * int list
+(** Pop a 16-bit big-endian value. @raise Invalid_argument if short. *)
+
+val take_u8 : int list -> int * int list
+val u16_to_signed : int -> int
+(** Reinterpret a 16-bit value as two's-complement. *)
+
+val signed_to_u16 : int -> int

@@ -1,0 +1,1 @@
+lib/control/freqresp.ml: Array Complex Float List Printf Ztransfer

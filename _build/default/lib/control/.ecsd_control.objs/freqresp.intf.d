@@ -1,0 +1,1 @@
+lib/control/freqresp.mli: Complex Ztransfer

@@ -1,0 +1,1 @@
+lib/control/metrics.ml: Float List Stdlib

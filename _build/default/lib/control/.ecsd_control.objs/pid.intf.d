@@ -1,0 +1,1 @@
+lib/control/pid.mli: Qformat

@@ -1,0 +1,1 @@
+lib/control/stability.ml: Array Complex Float List Stdlib Ztransfer

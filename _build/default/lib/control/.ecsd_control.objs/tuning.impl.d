@@ -1,0 +1,1 @@
+lib/control/tuning.ml: Array Complex Dc_motor Float Stability Stdlib Ztransfer

@@ -1,0 +1,1 @@
+lib/control/tuning.mli: Dc_motor Ztransfer

@@ -1,0 +1,1 @@
+lib/control/ztransfer.ml: Array Float List

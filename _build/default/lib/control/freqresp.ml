@@ -1,0 +1,85 @@
+let eval tf ~ts ~w =
+  if ts <= 0.0 then invalid_arg "Freqresp.eval: ts";
+  let nyquist = Float.pi /. ts in
+  if w <= 0.0 || w >= nyquist then
+    invalid_arg
+      (Printf.sprintf "Freqresp.eval: w = %g rad/s outside (0, %g)" w nyquist);
+  let open Complex in
+  let z = exp { re = 0.0; im = w *. ts } in
+  (* evaluate num/den in powers of z^-1 *)
+  let horner coeffs =
+    Array.fold_left (fun acc c -> add (div acc z) { re = c; im = 0.0 })
+      zero (coeffs : float array)
+  in
+  (* descending z^-1 coefficients: c0 + c1 z^-1 + ...; Horner needs the
+     reverse order *)
+  let horner_zinv coeffs =
+    let n = Array.length coeffs in
+    let rev = Array.init n (fun i -> coeffs.(n - 1 - i)) in
+    horner rev
+  in
+  div (horner_zinv (Ztransfer.num tf)) (horner_zinv (Ztransfer.den tf))
+
+let magnitude_db tf ~ts ~w = 20.0 *. log10 (Complex.norm (eval tf ~ts ~w))
+
+let phase_deg tf ~ts ~w =
+  let p = Complex.arg (eval tf ~ts ~w) *. 180.0 /. Float.pi in
+  (* unwrap into (-360, 0] so margins read conventionally *)
+  if p > 0.0 then p -. 360.0 else p
+
+let bode tf ~ts ?(n = 200) ?(w_min = 0.1) ?w_max () =
+  let w_max =
+    match w_max with Some w -> w | None -> 0.95 *. Float.pi /. ts
+  in
+  if w_min <= 0.0 || w_max <= w_min then invalid_arg "Freqresp.bode: range";
+  let ratio = (w_max /. w_min) ** (1.0 /. float_of_int (n - 1)) in
+  List.init n (fun i ->
+      let w = w_min *. (ratio ** float_of_int i) in
+      (w, magnitude_db tf ~ts ~w, phase_deg tf ~ts ~w))
+
+type margins = {
+  gain_margin_db : float;
+  phase_margin_deg : float;
+  gain_crossover : float;
+  phase_crossover : float;
+}
+
+(* Locate a sign change of [f] on a log grid, then bisect. *)
+let find_crossing f ~w_min ~w_max =
+  let n = 400 in
+  let ratio = (w_max /. w_min) ** (1.0 /. float_of_int (n - 1)) in
+  let rec scan i prev_w prev_v =
+    if i >= n then None
+    else
+      let w = w_min *. (ratio ** float_of_int i) in
+      let v = f w in
+      if prev_v *. v <= 0.0 && Float.is_finite prev_v && Float.is_finite v then
+        Some (prev_w, w)
+      else scan (i + 1) w v
+  in
+  match scan 1 w_min (f w_min) with
+  | None -> None
+  | Some (lo0, hi0) ->
+      let rec bisect lo hi k =
+        if k = 0 then sqrt (lo *. hi)
+        else
+          let mid = sqrt (lo *. hi) in
+          if f lo *. f mid <= 0.0 then bisect lo mid (k - 1)
+          else bisect mid hi (k - 1)
+      in
+      Some (bisect lo0 hi0 60)
+
+let margins ~loop ~ts =
+  let w_min = 1e-2 and w_max = 0.999 *. Float.pi /. ts in
+  let mag w = magnitude_db loop ~ts ~w in
+  let ph w = phase_deg loop ~ts ~w +. 180.0 in
+  let gain_crossover = find_crossing mag ~w_min ~w_max in
+  let phase_crossover = find_crossing ph ~w_min ~w_max in
+  {
+    gain_margin_db =
+      (match phase_crossover with Some w -> -.mag w | None -> infinity);
+    phase_margin_deg =
+      (match gain_crossover with Some w -> ph w | None -> infinity);
+    gain_crossover = (match gain_crossover with Some w -> w | None -> nan);
+    phase_crossover = (match phase_crossover with Some w -> w | None -> nan);
+  }

@@ -1,0 +1,36 @@
+(** Frequency response of discrete transfer functions.
+
+    The classical loop-shaping view of the controllers this environment
+    designs: evaluate H(e^{jwT}), produce Bode data, and compute the gain
+    and phase margins of a unity-feedback loop — the "stability" column
+    of the requirements the paper's introduction enumerates. *)
+
+val eval : Ztransfer.t -> ts:float -> w:float -> Complex.t
+(** H(e^{jwT}) at angular frequency [w] (rad/s).
+    @raise Invalid_argument for [w] at or beyond the Nyquist rate. *)
+
+val magnitude_db : Ztransfer.t -> ts:float -> w:float -> float
+val phase_deg : Ztransfer.t -> ts:float -> w:float -> float
+(** Unwrapped into (-360, 0] for typical lag-dominant loops. *)
+
+val bode :
+  Ztransfer.t -> ts:float -> ?n:int -> ?w_min:float -> ?w_max:float -> unit ->
+  (float * float * float) list
+(** Logarithmically spaced [(w, mag_db, phase_deg)] triples; default 200
+    points from [w_min] (default 0.1 rad/s) up to [w_max] (default 95 %
+    of Nyquist). *)
+
+type margins = {
+  gain_margin_db : float;
+      (** margin at the phase crossover; [infinity] when the phase never
+          reaches -180 deg *)
+  phase_margin_deg : float;
+      (** margin at the gain crossover; [infinity] when the loop gain
+          never crosses 0 dB *)
+  gain_crossover : float;  (** rad/s; [nan] when absent *)
+  phase_crossover : float;  (** rad/s; [nan] when absent *)
+}
+
+val margins : loop:Ztransfer.t -> ts:float -> margins
+(** Margins of the open-loop transfer function [loop] (controller x
+    plant) under unity feedback, located by bisection on a log grid. *)

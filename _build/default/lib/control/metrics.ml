@@ -1,0 +1,73 @@
+type step_info = {
+  rise_time : float;
+  overshoot : float;
+  settling_time : float;
+  peak : float;
+  peak_time : float;
+  steady_state_error : float;
+}
+
+let step_info ?(band = 0.02) ~sp ?(y0 = 0.0) traj =
+  if traj = [] then invalid_arg "Metrics.step_info: empty trajectory";
+  let step_size = sp -. y0 in
+  if step_size = 0.0 then invalid_arg "Metrics.step_info: zero step";
+  let t0 = fst (List.hd traj) in
+  (* Normalise so the step goes 0 -> 1 regardless of direction. *)
+  let norm y = (y -. y0) /. step_size in
+  let rise_10 = ref nan and rise_90 = ref nan in
+  let peak = ref neg_infinity and peak_time = ref t0 in
+  let settle = ref nan in
+  let band_lo = 1.0 -. band and band_hi = 1.0 +. band in
+  List.iter
+    (fun (t, y) ->
+      let yn = norm y in
+      if Float.is_nan !rise_10 && yn >= 0.1 then rise_10 := t;
+      if Float.is_nan !rise_90 && yn >= 0.9 then rise_90 := t;
+      if yn > !peak then begin
+        peak := yn;
+        peak_time := t
+      end;
+      if yn < band_lo || yn > band_hi then settle := nan
+      else if Float.is_nan !settle then settle := t)
+    traj;
+  let n = List.length traj in
+  let tail = List.filteri (fun i _ -> i >= n - Stdlib.max 1 (n / 10)) traj in
+  let final_mean =
+    List.fold_left (fun acc (_, y) -> acc +. y) 0.0 tail
+    /. float_of_int (List.length tail)
+  in
+  {
+    rise_time =
+      (if Float.is_nan !rise_10 || Float.is_nan !rise_90 then nan
+       else !rise_90 -. !rise_10);
+    overshoot = Float.max 0.0 (!peak -. 1.0);
+    settling_time = (if Float.is_nan !settle then nan else !settle -. t0);
+    peak = y0 +. (!peak *. step_size);
+    peak_time = !peak_time;
+    steady_state_error = Float.abs (sp -. final_mean);
+  }
+
+let integral f traj =
+  (* Trapezoidal integration of f(t, y) over the trajectory. *)
+  let rec go acc = function
+    | (t0, y0) :: ((t1, y1) :: _ as rest) ->
+        let a = f t0 y0 and b = f t1 y1 in
+        go (acc +. ((t1 -. t0) *. (a +. b) /. 2.0)) rest
+    | [ _ ] | [] -> acc
+  in
+  go 0.0 traj
+
+let iae ~sp traj = integral (fun t y -> Float.abs (sp t -. y)) traj
+let ise ~sp traj = integral (fun t y -> (sp t -. y) ** 2.0) traj
+let itae ~sp traj = integral (fun t y -> t *. Float.abs (sp t -. y)) traj
+
+let max_deviation t1 t2 =
+  let rec go acc l1 l2 =
+    match (l1, l2) with
+    | (_, y1) :: r1, (_, y2) :: r2 -> go (Float.max acc (Float.abs (y1 -. y2))) r1 r2
+    | _, [] | [], _ -> acc
+  in
+  go 0.0 t1 t2
+
+let diverged ?(limit = 1e6) traj =
+  List.exists (fun (_, y) -> Float.is_nan y || Float.abs y > limit) traj

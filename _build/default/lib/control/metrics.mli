@@ -1,0 +1,44 @@
+(** Control-performance metrics.
+
+    The paper motivates tools that capture "the control performance (e.g.
+    rise time, overshoot, and stability)" (§1); these are the quantities
+    tabulated by the experiment harness for every closed-loop run. A run is
+    a sampled trajectory [(t, y)] with a known set-point. *)
+
+type step_info = {
+  rise_time : float;  (** 10 %–90 % rise time, s; [nan] if never reached *)
+  overshoot : float;  (** peak overshoot as a fraction of the step size *)
+  settling_time : float;
+      (** first time after which the response stays within the settling
+          band; [nan] if it never settles *)
+  peak : float;
+  peak_time : float;
+  steady_state_error : float;
+      (** |sp - mean of the final 10 % of the trajectory| *)
+}
+
+val step_info :
+  ?band:float -> sp:float -> ?y0:float -> (float * float) list -> step_info
+(** Analyse a step response from initial value [y0] (default 0) to
+    set-point [sp]. [band] is the settling band as a fraction of the step
+    size (default 0.02). @raise Invalid_argument on an empty trajectory. *)
+
+val iae : sp:(float -> float) -> (float * float) list -> float
+(** Integral of absolute error, trapezoidal, against a possibly
+    time-varying set-point. *)
+
+val ise : sp:(float -> float) -> (float * float) list -> float
+(** Integral of squared error. *)
+
+val itae : sp:(float -> float) -> (float * float) list -> float
+(** Time-weighted integral of absolute error. *)
+
+val max_deviation : (float * float) list -> (float * float) list -> float
+(** Largest pointwise |y1 - y2| between two trajectories sampled at the
+    same instants (compared index-wise over the common prefix); the
+    MIL-vs-PIL and float-vs-fixed fidelity measure. *)
+
+val diverged : ?limit:float -> (float * float) list -> bool
+(** True when the trajectory exceeds [limit] in magnitude or becomes
+    non-finite — the instability detector of experiment E6. Default limit
+    1e6. *)

@@ -1,0 +1,75 @@
+let jury den =
+  let n = Array.length den - 1 in
+  if n < 1 then invalid_arg "Stability.jury: degree must be >= 1";
+  if den.(0) = 0.0 then invalid_arg "Stability.jury: zero leading coefficient";
+  (* Schur-Cohn recursion on ascending-power coefficients: p is stable iff
+     |c0| < |cn| and the degree-reduced polynomial
+     q(z) = (cn*p(z) - c0*rev(p)(z)) / z is stable. *)
+  let ascending = Array.of_list (List.rev (Array.to_list den)) in
+  let rec stable c =
+    let deg = Array.length c - 1 in
+    if deg = 0 then true
+    else
+      let c0 = c.(0) and cn = c.(deg) in
+      if Float.abs c0 >= Float.abs cn then false
+      else
+        let q =
+          Array.init deg (fun i -> (cn *. c.(i + 1)) -. (c0 *. c.(deg - 1 - i)))
+        in
+        stable q
+  in
+  stable ascending
+
+(* Durand-Kerner (Weierstrass) simultaneous root iteration. *)
+let poly_roots coeffs =
+  let n = Array.length coeffs - 1 in
+  if n < 1 then [||]
+  else begin
+    let open Complex in
+    let c = Array.map (fun x -> { re = x; im = 0.0 }) coeffs in
+    let lead = c.(0) in
+    let c = Array.map (fun x -> div x lead) c in
+    let eval z =
+      Array.fold_left (fun acc ck -> add (mul acc z) ck) zero c
+    in
+    (* Start from non-real, non-root-of-unity points. *)
+    let seed = { re = 0.4; im = 0.9 } in
+    let roots = Array.init n (fun i -> pow seed { re = float_of_int (i + 1); im = 0.0 }) in
+    for _iter = 1 to 200 do
+      for i = 0 to n - 1 do
+        let denom = ref one in
+        for j = 0 to n - 1 do
+          if j <> i then denom := mul !denom (sub roots.(i) roots.(j))
+        done;
+        if norm !denom > 1e-30 then
+          roots.(i) <- sub roots.(i) (div (eval roots.(i)) !denom)
+      done
+    done;
+    roots
+  end
+
+let poly_roots_magnitude coeffs =
+  let roots = poly_roots coeffs in
+  Array.fold_left (fun acc r -> Float.max acc (Complex.norm r)) 0.0 roots
+
+let closed_loop_stable ~plant ~controller =
+  (* Characteristic polynomial of the unity feedback loop:
+     den_c * den_p + num_c * num_p, built over z^-1 coefficients then
+     interpreted as a z-polynomial of the combined order. *)
+  let conv a b =
+    let la = Array.length a and lb = Array.length b in
+    let r = Array.make (la + lb - 1) 0.0 in
+    for i = 0 to la - 1 do
+      for j = 0 to lb - 1 do
+        r.(i + j) <- r.(i + j) +. (a.(i) *. b.(j))
+      done
+    done;
+    r
+  in
+  let open Ztransfer in
+  let dd = conv (den controller) (den plant) in
+  let nn = conv (num controller) (num plant) in
+  let len = Stdlib.max (Array.length dd) (Array.length nn) in
+  let get a i = if i < Array.length a then a.(i) else 0.0 in
+  let char_poly = Array.init len (fun i -> get dd i +. get nn i) in
+  jury char_poly

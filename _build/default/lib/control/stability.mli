@@ -1,0 +1,25 @@
+(** Discrete-time stability analysis.
+
+    Used by experiment E6 to confirm analytically that the latency/jitter
+    sweep crosses a true stability boundary, and by the design tools to
+    validate controller discretisations. *)
+
+val jury : float array -> bool
+(** [jury den] applies the Jury criterion to a z-polynomial given in
+    descending powers; true iff all roots lie strictly inside the unit
+    circle. @raise Invalid_argument on degree < 1 or zero leading
+    coefficient. *)
+
+val poly_roots : float array -> Complex.t array
+(** All roots of a real polynomial (descending powers) by Durand–Kerner
+    simultaneous iteration. *)
+
+val poly_roots_magnitude : float array -> float
+(** Largest root magnitude of a real polynomial (descending powers),
+    computed numerically via companion-matrix power iteration on the
+    dominant eigenvalue; a cross-check oracle for {!jury} in tests. *)
+
+val closed_loop_stable :
+  plant:Ztransfer.t -> controller:Ztransfer.t -> bool
+(** Stability of the unity-feedback loop [C*P / (1 + C*P)] via Jury on the
+    closed-loop characteristic polynomial. *)

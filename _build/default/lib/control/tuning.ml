@@ -1,0 +1,75 @@
+let pi_for_first_order ~k ~tau ?closed_loop_tau () =
+  if k = 0.0 then invalid_arg "Tuning.pi_for_first_order: zero gain";
+  let lambda = match closed_loop_tau with Some l -> l | None -> tau /. 3.0 in
+  (* IMC-PI: C(s) = (tau s + 1) / (k lambda s)  =>  kp = tau/(k lambda),
+     ki = 1/(k lambda). *)
+  let kp = tau /. (k *. lambda) in
+  let ki = 1.0 /. (k *. lambda) in
+  (kp, ki)
+
+let pi_for_dc_motor_speed p ?closed_loop_tau () =
+  let open Dc_motor in
+  (* Voltage-to-speed DC gain and the mechanical time constant of the
+     reduced first-order model (electrical pole neglected). *)
+  let k = p.kt /. ((p.ra *. p.b) +. (p.ke *. p.kt)) in
+  let tau = mechanical_time_constant p in
+  pi_for_first_order ~k ~tau ?closed_loop_tau ()
+
+let ziegler_nichols_pid ~ku ~tu =
+  if ku <= 0.0 || tu <= 0.0 then invalid_arg "Tuning.ziegler_nichols_pid";
+  let kp = 0.6 *. ku in
+  let ti = tu /. 2.0 and td = tu /. 8.0 in
+  (kp, kp /. ti, kp *. td)
+
+let ultimate_gain ~plant ?(k_max = 1e4) ?(step = 1.1) () =
+  let stable k =
+    let controller = Ztransfer.create ~num:[| k |] ~den:[| 1.0 |] in
+    Stability.closed_loop_stable ~plant ~controller
+  in
+  if not (stable 1e-6) then Some (0.0, 0.0)
+  else begin
+    (* Geometric sweep to bracket the boundary, then bisection. *)
+    let rec sweep k = if k > k_max then None
+      else if not (stable k) then Some k
+      else sweep (k *. step)
+    in
+    match sweep 1e-6 with
+    | None -> None
+    | Some hi0 ->
+        let rec bisect lo hi n =
+          if n = 0 then (lo, hi)
+          else
+            let mid = (lo +. hi) /. 2.0 in
+            if stable mid then bisect mid hi (n - 1) else bisect lo mid (n - 1)
+        in
+        let lo, hi = bisect (hi0 /. step) hi0 60 in
+        let ku = (lo +. hi) /. 2.0 in
+        (* Oscillation period from the dominant closed-loop root angle just
+           past the boundary. *)
+        let controller = Ztransfer.create ~num:[| hi |] ~den:[| 1.0 |] in
+        let conv a b =
+          let la = Array.length a and lb = Array.length b in
+          let r = Array.make (la + lb - 1) 0.0 in
+          for i = 0 to la - 1 do
+            for j = 0 to lb - 1 do
+              r.(i + j) <- r.(i + j) +. (a.(i) *. b.(j))
+            done
+          done;
+          r
+        in
+        let open Ztransfer in
+        let dd = conv (den controller) (den plant) in
+        let nn = conv (num controller) (num plant) in
+        let len = Stdlib.max (Array.length dd) (Array.length nn) in
+        let get a i = if i < Array.length a then a.(i) else 0.0 in
+        let char_poly = Array.init len (fun i -> get dd i +. get nn i) in
+        let roots = Stability.poly_roots char_poly in
+        let dominant =
+          Array.fold_left
+            (fun acc r -> if Complex.norm r > Complex.norm acc then r else acc)
+            Complex.zero roots
+        in
+        let angle = Float.abs (Complex.arg dominant) in
+        let tu = if angle < 1e-9 then infinity else 2.0 *. Float.pi /. angle in
+        Some (ku, tu)
+  end

@@ -1,0 +1,29 @@
+(** Controller tuning rules.
+
+    Closed-form PI/PID designs for the plants of the examples, standing in
+    for the manual Simulink tuning loop of the paper's development cycle. *)
+
+val pi_for_first_order :
+  k:float -> tau:float -> ?closed_loop_tau:float -> unit -> float * float
+(** Internal-model-control PI design for a first-order plant
+    [k / (tau s + 1)]: returns [(kp, ki)]. [closed_loop_tau] defaults to
+    [tau / 3] (a moderately aggressive loop). *)
+
+val pi_for_dc_motor_speed :
+  Dc_motor.params -> ?closed_loop_tau:float -> unit -> float * float
+(** PI speed-loop design from the motor's voltage-to-speed DC gain and
+    mechanical time constant (the electrical pole is neglected, being two
+    orders of magnitude faster). *)
+
+val ziegler_nichols_pid : ku:float -> tu:float -> float * float * float
+(** Classic closed-loop Ziegler–Nichols rules from the ultimate gain and
+    period: returns [(kp, ki, kd)]. *)
+
+val ultimate_gain :
+  plant:Ztransfer.t -> ?k_max:float -> ?step:float -> unit ->
+  (float * float) option
+(** Numeric search for the ultimate (marginal-stability) proportional gain
+    of a unity-feedback loop; returns [(ku, tu)] with [tu] the oscillation
+    period in {e samples} (multiply by the sample period for seconds),
+    derived from the dominant closed-loop root angle at the marginal gain.
+    [None] when the loop stays stable up to [k_max]. *)

@@ -1,0 +1,1 @@
+lib/core/pe_workspace.ml: Bean Bean_project Block Hashtbl List Model Option Param Periph_blocks Printf Sample_time String

@@ -1,0 +1,1 @@
+lib/core/pe_workspace.mli: Bean Bean_project Mcu_db Model

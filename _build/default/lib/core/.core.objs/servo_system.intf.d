@@ -1,0 +1,1 @@
+lib/core/servo_system.mli: Bean_project Dc_motor Load_profile Mcu_db Model Pid Pil_cosim

@@ -1,0 +1,1 @@
+lib/core/timing_study.ml: Dc_motor Float Int64 List Metrics Pid Stats Tuning

@@ -1,0 +1,1 @@
+lib/core/timing_study.mli: Dc_motor Pid

@@ -1,0 +1,93 @@
+(* The umbrella namespace: one module to open (or qualify through) that
+   reaches the whole environment. Libraries are unwrapped, so every module
+   below is also available top-level; [Ecsd.Model] and [Model] are the
+   same module. *)
+
+(* modelling *)
+module Model = Model
+module Block = Block
+module Compile = Compile
+module Param = Param
+module Sample_time = Sample_time
+module Dtype = Dtype
+module Value = Value
+
+(* simulation *)
+module Sim = Sim
+module Ode = Ode
+module Chart = Chart
+module Chart_block = Chart_block
+
+(* block library *)
+module Sources = Sources
+module Math_blocks = Math_blocks
+module Discrete_blocks = Discrete_blocks
+module Continuous_blocks = Continuous_blocks
+module Nonlinear_blocks = Nonlinear_blocks
+module Routing_blocks = Routing_blocks
+module Table_blocks = Table_blocks
+module Plant_blocks = Plant_blocks
+
+(* plant & control *)
+module Dc_motor = Dc_motor
+module Encoder = Encoder
+module Power_stage = Power_stage
+module Load_profile = Load_profile
+module Thermal = Thermal
+module Pid = Pid
+module Ztransfer = Ztransfer
+module Stability = Stability
+module Tuning = Tuning
+module Freqresp = Freqresp
+module Metrics = Metrics
+module Qformat = Qformat
+module Fixed = Fixed
+
+(* Processor Expert substrate *)
+module Bean = Bean
+module Bean_project = Bean_project
+module Expert = Expert
+module Resources = Resources
+module Inspector = Inspector
+module Periph_blocks = Periph_blocks
+module Autosar_blocks = Autosar_blocks
+module Autosar_code = Autosar_code
+module Bean_code = Bean_code
+
+(* target & virtual hardware *)
+module Mcu_db = Mcu_db
+module Machine = Machine
+module Rta = Rta
+module Timer_periph = Timer_periph
+module Adc_periph = Adc_periph
+module Pwm_periph = Pwm_periph
+module Gpio_periph = Gpio_periph
+module Qdec_periph = Qdec_periph
+module Sci_periph = Sci_periph
+module Wdog_periph = Wdog_periph
+module Target = Target
+module Pil_target = Pil_target
+module Sim_target = Sim_target
+module Plantgen = Plantgen
+module Blockgen = Blockgen
+module Cost_model = Cost_model
+module C_ast = C_ast
+module C_print = C_print
+
+(* validation stages *)
+module Pil_cosim = Pil_cosim
+module Hil_cosim = Hil_cosim
+module Packet = Packet
+module Framer = Framer
+module Crc16 = Crc16
+
+(* case study & studies *)
+module Servo_system = Servo_system
+module Pe_workspace = Pe_workspace
+module Timing_study = Timing_study
+
+(* reporting *)
+module Table = Table
+module Ascii_plot = Ascii_plot
+module Stats = Stats
+module Trace_export = Trace_export

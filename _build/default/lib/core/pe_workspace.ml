@@ -1,0 +1,139 @@
+type t = {
+  model : Model.t;
+  project : Bean_project.t;
+  counters : (string, int) Hashtbl.t;
+}
+
+let create ~name mcu =
+  {
+    model = Model.create name;
+    project = Bean_project.create mcu;
+    counters = Hashtbl.create 8;
+  }
+
+let model t = t.model
+let project t = t.project
+
+let fresh_name t prefix =
+  let n = (Hashtbl.find_opt t.counters prefix |> Option.value ~default:0) + 1 in
+  Hashtbl.replace t.counters prefix n;
+  Printf.sprintf "%s%d" prefix n
+
+(* Insert bean + block atomically: if the bean fails verification or the
+   block constructor rejects it, roll the bean back and report the
+   inspector's diagnosis. *)
+let add_periph t ~name ~prefix config make_block =
+  let bean_name = match name with Some n -> n | None -> fresh_name t prefix in
+  let bean = Bean_project.add t.project (Bean.make ~name:bean_name config) in
+  if not (Bean.is_valid bean) then begin
+    let diagnosis = String.concat "; " bean.Bean.errors in
+    Bean_project.remove t.project bean_name;
+    invalid_arg
+      (Printf.sprintf "Pe_workspace: bean %s rejected: %s" bean_name diagnosis)
+  end;
+  match Model.add t.model ~name:bean_name (make_block bean) with
+  | blk -> blk
+  | exception e ->
+      Bean_project.remove t.project bean_name;
+      raise e
+
+let add_timer_int t ?name ?(tolerance_frac = 0.001) ~period () =
+  add_periph t ~name ~prefix:"TI"
+    (Bean.Timer_int { period; tolerance_frac })
+    Periph_blocks.timer_int
+
+let add_adc t ?name ?channel ?(vref = 3.3) ~resolution ~sample_period () =
+  add_periph t ~name ~prefix:"AD"
+    (Bean.Adc { channel; resolution; vref; sample_period })
+    Periph_blocks.adc
+
+let add_pwm t ?name ?channel ?(initial_ratio = 0.0) ~freq_hz () =
+  add_periph t ~name ~prefix:"PWM"
+    (Bean.Pwm { channel; freq_hz; initial_ratio })
+    Periph_blocks.pwm
+
+let add_dac t ?name ?channel ?(vref = 3.3) ~resolution () =
+  add_periph t ~name ~prefix:"DA"
+    (Bean.Dac { channel; resolution; vref })
+    Periph_blocks.dac
+
+let add_quad_decoder t ?name ~lines_per_rev () =
+  add_periph t ~name ~prefix:"QD"
+    (Bean.Quad_dec { lines_per_rev })
+    Periph_blocks.quad_decoder
+
+let add_bit_io_in t ?name ~pin () =
+  add_periph t ~name ~prefix:"SW"
+    (Bean.Bit_io { pin; direction = Bean.In_pin; init = false })
+    Periph_blocks.bit_io_in
+
+let add_bit_io_out t ?name ?(init = false) ~pin () =
+  add_periph t ~name ~prefix:"LED"
+    (Bean.Bit_io { pin; direction = Bean.Out_pin; init })
+    Periph_blocks.bit_io_out
+
+let serial_placeholder bean =
+  {
+    Block.kind = "PE_Serial";
+    params = [ ("bean", Param.String bean.Bean.bname) ];
+    n_in = 0;
+    n_out = 0;
+    feedthrough = [||];
+    out_types = [||];
+    sample = Sample_time.Const;
+    event_outs = [||];
+    make = (fun _ -> Block.no_beh_state);
+  }
+
+let add_serial t ?name ?port ~baud () =
+  add_periph t ~name ~prefix:"AS" (Bean.Serial { port; baud }) serial_placeholder
+
+let block_bean_name t blk =
+  let spec = Model.spec_of t.model blk in
+  Param.string_opt spec.Block.params "bean"
+
+let bean_of_block t blk =
+  match block_bean_name t blk with
+  | Some n -> ( try Some (Bean_project.find t.project n) with Not_found -> None)
+  | None -> None
+
+let remove t blk =
+  (match block_bean_name t blk with
+  | Some bean_name -> Bean_project.remove t.project bean_name
+  | None -> ());
+  Model.remove_block t.model blk
+
+let check_consistency t =
+  let issues = ref [] in
+  let referenced = Hashtbl.create 8 in
+  List.iter
+    (fun blk ->
+      match block_bean_name t blk with
+      | Some bean_name -> (
+          Hashtbl.replace referenced bean_name ();
+          match Bean_project.find t.project bean_name with
+          | bean ->
+              if not (Bean.is_valid bean) then
+                issues :=
+                  Printf.sprintf "block %s: bean %s is invalid (%s)"
+                    (Model.block_name t.model blk)
+                    bean_name
+                    (String.concat "; " bean.Bean.errors)
+                  :: !issues
+          | exception Not_found ->
+              issues :=
+                Printf.sprintf "block %s references missing bean %s"
+                  (Model.block_name t.model blk)
+                  bean_name
+                :: !issues)
+      | None -> ())
+    (Model.blocks t.model);
+  List.iter
+    (fun bean ->
+      if not (Hashtbl.mem referenced bean.Bean.bname) then
+        issues :=
+          Printf.sprintf "bean %s has no block in the model (orphaned)"
+            bean.Bean.bname
+          :: !issues)
+    (Bean_project.beans t.project);
+  match !issues with [] -> Ok () | l -> Error (List.rev l)

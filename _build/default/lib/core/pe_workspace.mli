@@ -1,0 +1,70 @@
+(** Model/project synchronisation — the PES_COM role (§5).
+
+    "The synchronization of the Simulink model with the PE project and the
+    communication of both these tools through the Microsoft Component
+    Object Model interface is provided by the PES_COM library … User
+    changes in the model (PE block insertion, erasure, rename etc.) are
+    propagated to the PE project and opposite."
+
+    A workspace couples one model with one Processor Expert project and
+    keeps them consistent: inserting a peripheral block creates and
+    resolves the corresponding bean (with auto-generated instance names,
+    TI1/AD1/PWM1/…), erasing the block releases the bean and its
+    resources, and a consistency check reports any drift. Settings are
+    "verified immediately by the PE knowledge base": an invalid
+    configuration makes the insertion fail with the inspector's
+    diagnosis. *)
+
+type t
+
+val create : name:string -> Mcu_db.t -> t
+val model : t -> Model.t
+val project : t -> Bean_project.t
+
+(** {2 Peripheral block insertion (block + bean + resolution)}
+
+    Each returns the new block handle. [name] overrides the auto instance
+    name (which also names the block in the model).
+    @raise Invalid_argument when the expert system rejects the settings,
+    with the diagnosis. *)
+
+val add_timer_int :
+  t -> ?name:string -> ?tolerance_frac:float -> period:float -> unit -> Model.blk
+
+val add_adc :
+  t -> ?name:string -> ?channel:int -> ?vref:float -> resolution:int ->
+  sample_period:float -> unit -> Model.blk
+
+val add_pwm :
+  t -> ?name:string -> ?channel:int -> ?initial_ratio:float -> freq_hz:float ->
+  unit -> Model.blk
+
+val add_dac :
+  t -> ?name:string -> ?channel:int -> ?vref:float -> resolution:int -> unit ->
+  Model.blk
+
+val add_quad_decoder :
+  t -> ?name:string -> lines_per_rev:int -> unit -> Model.blk
+
+val add_bit_io_in : t -> ?name:string -> pin:string -> unit -> Model.blk
+val add_bit_io_out :
+  t -> ?name:string -> ?init:bool -> pin:string -> unit -> Model.blk
+
+val add_serial : t -> ?name:string -> ?port:int -> baud:int -> unit -> Model.blk
+(** The serial bean has no data-flow block; a placeholder block with no
+    ports keeps the model and project views aligned. *)
+
+(** {2 Erasure and consistency} *)
+
+val remove : t -> Model.blk -> unit
+(** Erase a peripheral block: the bean and its claimed resources go with
+    it (§5's erasure propagation). Non-peripheral blocks are removed from
+    the model only. *)
+
+val bean_of_block : t -> Model.blk -> Bean.t option
+(** The bean behind a peripheral block, if any. *)
+
+val check_consistency : t -> (unit, string list) result
+(** Cross-check both views: every peripheral block's bean must exist and
+    be valid; beans without any referencing block are reported (the
+    project window would show them orphaned). *)

@@ -1,0 +1,56 @@
+(** Timing-robustness study (experiment E6).
+
+    The paper's introduction motivates the whole tool chain with the
+    observation that "timing variations in sampling periods and latencies
+    degrade the control performance and may in extreme cases lead to the
+    instability" (§1), citing TrueTime as the simulation approach. This
+    module reproduces that claim quantitatively: the servo speed loop is
+    simulated with the sampling instant jittered uniformly within the
+    period and the actuation delayed by a fixed input-output latency,
+    and the control cost is measured as the degradation curve. *)
+
+type config = {
+  motor : Dc_motor.params;
+  gains : Pid.gains;
+  period : float;
+  t_end : float;
+  setpoint : float;
+  jitter_frac : float;  (** sampling jitter, fraction of the period (0..1) *)
+  latency_frac : float;  (** input-output latency, fraction of the period *)
+  seed : int;
+}
+
+val default : config
+(** The case-study loop at 1 kHz, 100 rad/s set-point, no perturbation. *)
+
+type outcome = {
+  trajectory : (float * float) list;  (** (time, speed) *)
+  iae : float;
+  ise : float;
+  diverged : bool;
+  sustained_oscillation : bool;
+      (** the loop never settles: the peak-to-peak speed over the final
+          fifth of the run exceeds half the set-point — actuator
+          saturation turns instability into a limit cycle rather than a
+          numeric blow-up *)
+  max_overshoot : float;
+}
+
+val run : config -> outcome
+(** One simulation under the given timing perturbation. *)
+
+val degradation_sweep :
+  ?config:config ->
+  jitter_fracs:float list ->
+  latency_fracs:float list ->
+  unit ->
+  (float * float * outcome) list
+(** The E6 grid: every (jitter, latency) combination, in row-major
+    order. *)
+
+val relative_cost : baseline:outcome -> outcome -> float
+(** IAE ratio against the unperturbed baseline; [infinity] when
+    diverged. *)
+
+val unstable : outcome -> bool
+(** Diverged or locked in a sustained oscillation. *)

@@ -1,0 +1,250 @@
+type t = {
+  comp : Compile.t;
+  behs : Block.beh array;
+  signals : Value.t array array;
+  overrides : Value.t option array array;
+  srcs : (Model.blk * int) array array;
+  mutable now : float;
+  mutable nstep : int;
+  probes : (int * int, (float * float) list ref) Hashtbl.t;
+  mutable events_this_step : int;
+  cstate_blocks : Model.blk array;  (* owners of continuous states, in order *)
+  solver : Ode.method_;
+  solver_substeps : int;
+}
+
+let bi = Model.blk_index
+
+let gather t b = Array.map (fun (sb, sp) -> t.signals.(bi sb).(sp)) t.srcs.(bi b)
+
+let write_outputs t b outs =
+  let spec = Model.spec_of t.comp.Compile.model b in
+  if Array.length outs <> spec.Block.n_out then
+    failwith
+      (Printf.sprintf "block %s returned %d outputs, expected %d"
+         (Model.block_name t.comp.Compile.model b)
+         (Array.length outs) spec.Block.n_out);
+  Array.iteri
+    (fun p v ->
+      match t.overrides.(bi b).(p) with
+      | Some ov -> t.signals.(bi b).(p) <- ov
+      | None -> t.signals.(bi b).(p) <- v)
+    outs
+
+let rec exec_group t g =
+  let order =
+    match List.assoc_opt g t.comp.Compile.group_order with
+    | Some o -> o
+    | None -> [||]
+  in
+  Array.iter
+    (fun b ->
+      let outs = t.behs.(bi b).Block.out ~minor:false ~time:t.now (gather t b) in
+      write_outputs t b outs)
+    order;
+  Array.iter (fun b -> t.behs.(bi b).Block.update ~time:t.now (gather t b)) order
+
+and fire_event t b k =
+  t.events_this_step <- t.events_this_step + 1;
+  match Model.event_target t.comp.Compile.model (b, k) with
+  | Some g -> exec_group t g
+  | None -> ()
+
+let create ?(solver = Ode.Rk4) ?(solver_substeps = 1) comp =
+  if solver_substeps < 1 then invalid_arg "Sim.create: solver_substeps";
+  let m = comp.Compile.model in
+  let n = Model.n_blocks m in
+  let signals = Array.make n [||] in
+  let overrides = Array.make n [||] in
+  List.iter
+    (fun b ->
+      let spec = Model.spec_of m b in
+      signals.(bi b) <-
+        Array.init spec.Block.n_out (fun p ->
+            Value.zero comp.Compile.out_types.(bi b).(p));
+      overrides.(bi b) <- Array.make spec.Block.n_out None)
+    (Model.blocks m);
+  let t_ref = ref None in
+  let behs = Array.make n Block.no_beh_state in
+  List.iter
+    (fun b ->
+      let spec = Model.spec_of m b in
+      let block_dt =
+        match comp.Compile.sample.(bi b) with
+        | Sample_time.R_discrete { period; _ } -> period
+        | Sample_time.R_continuous -> 0.0
+        | Sample_time.R_triggered | Sample_time.R_const -> comp.Compile.base_dt
+      in
+      let ctx =
+        {
+          Block.base_dt = comp.Compile.base_dt;
+          block_dt;
+          fire =
+            (fun k ->
+              match !t_ref with
+              | Some t -> fire_event t b k
+              | None -> ());
+          in_dtypes = comp.Compile.in_types.(bi b);
+          out_dtypes = comp.Compile.out_types.(bi b);
+        }
+      in
+      behs.(bi b) <- spec.Block.make ctx)
+    (Model.blocks m);
+  let cstate_blocks =
+    Array.of_list
+      (List.filter (fun b -> behs.(bi b).Block.ncstates > 0)
+         (Array.to_list comp.Compile.order))
+  in
+  let t =
+    {
+      comp;
+      behs;
+      signals;
+      overrides;
+      srcs = Compile.signal_sources comp;
+      now = 0.0;
+      nstep = 0;
+      probes = Hashtbl.create 8;
+      events_this_step = 0;
+      cstate_blocks;
+      solver;
+      solver_substeps;
+    }
+  in
+  t_ref := Some t;
+  t
+
+let reset t =
+  Array.iter (fun beh -> beh.Block.reset ()) t.behs;
+  List.iter
+    (fun b ->
+      let spec = Model.spec_of t.comp.Compile.model b in
+      for p = 0 to spec.Block.n_out - 1 do
+        t.signals.(bi b).(p) <- Value.zero t.comp.Compile.out_types.(bi b).(p)
+      done)
+    (Model.blocks t.comp.Compile.model);
+  Hashtbl.iter (fun _ r -> r := []) t.probes;
+  t.now <- 0.0;
+  t.nstep <- 0
+
+let time t = t.now
+let base_dt t = t.comp.Compile.base_dt
+let compiled t = t.comp
+
+let probe t (b, p) =
+  let key = (bi b, p) in
+  if not (Hashtbl.mem t.probes key) then Hashtbl.replace t.probes key (ref [])
+
+let probe_named t name p = probe t (Model.find t.comp.Compile.model name, p)
+
+let hit t b =
+  match t.comp.Compile.sample.(bi b) with
+  | Sample_time.R_const -> t.nstep = 0
+  | r -> Sample_time.hit r ~time:t.now ~base_dt:t.comp.Compile.base_dt
+
+(* Continuous-state integration over one base step: the derivative
+   function re-evaluates the outputs of continuous-rate blocks (minor
+   pass) at the stage state, discrete outputs being held. *)
+let integrate t =
+  if Array.length t.cstate_blocks > 0 then begin
+    let sizes =
+      Array.map (fun b -> t.behs.(bi b).Block.ncstates) t.cstate_blocks
+    in
+    let total = Array.fold_left ( + ) 0 sizes in
+    let pack () =
+      let x = Array.make total 0.0 in
+      let off = ref 0 in
+      Array.iter
+        (fun b ->
+          let s = t.behs.(bi b).Block.get_cstate () in
+          Array.blit s 0 x !off (Array.length s);
+          off := !off + Array.length s)
+        t.cstate_blocks;
+      x
+    in
+    let unpack x =
+      let off = ref 0 in
+      Array.iteri
+        (fun i b ->
+          t.behs.(bi b).Block.set_cstate (Array.sub x !off sizes.(i));
+          off := !off + sizes.(i))
+        t.cstate_blocks
+    in
+    let minor_pass time =
+      Array.iter
+        (fun b ->
+          if t.comp.Compile.sample.(bi b) = Sample_time.R_continuous then
+            write_outputs t b
+              (t.behs.(bi b).Block.out ~minor:true ~time (gather t b)))
+        t.comp.Compile.order
+    in
+    let f time x =
+      unpack x;
+      minor_pass time;
+      let d = Array.make total 0.0 in
+      let off = ref 0 in
+      Array.iteri
+        (fun i b ->
+          let db = t.behs.(bi b).Block.deriv ~time (gather t b) in
+          Array.blit db 0 d !off sizes.(i);
+          off := !off + sizes.(i))
+        t.cstate_blocks;
+      d
+    in
+    (* sub-stepping keeps stiff continuous dynamics (e.g. the motor's
+       electrical pole) stable when the discrete base rate is slow *)
+    let n = t.solver_substeps in
+    let h = t.comp.Compile.base_dt /. float_of_int n in
+    let x = ref (pack ()) in
+    for i = 0 to n - 1 do
+      x := Ode.step t.solver f (t.now +. (float_of_int i *. h)) !x h
+    done;
+    unpack !x;
+    (* leave the continuous signals consistent with the final state, not
+       with the solver's last stage evaluation *)
+    minor_pass (t.now +. t.comp.Compile.base_dt)
+  end
+
+let record_probes t =
+  Hashtbl.iter
+    (fun (b, p) r -> r := (t.now, Value.to_float t.signals.(b).(p)) :: !r)
+    t.probes
+
+let step t =
+  t.events_this_step <- 0;
+  Array.iter
+    (fun b ->
+      if hit t b then
+        write_outputs t b (t.behs.(bi b).Block.out ~minor:false ~time:t.now (gather t b)))
+    t.comp.Compile.order;
+  Array.iter
+    (fun b -> if hit t b then t.behs.(bi b).Block.update ~time:t.now (gather t b))
+    t.comp.Compile.order;
+  record_probes t;
+  integrate t;
+  t.now <- t.now +. t.comp.Compile.base_dt;
+  t.nstep <- t.nstep + 1
+
+let run t ?(steps = max_int) ~until () =
+  let n = ref 0 in
+  while t.now < until -. 1e-12 && !n < steps do
+    step t;
+    incr n
+  done
+
+let value t (b, p) = t.signals.(bi b).(p)
+let value_named t name p = value t (Model.find t.comp.Compile.model name, p)
+
+let trace t (b, p) =
+  match Hashtbl.find_opt t.probes (bi b, p) with
+  | Some r -> List.rev !r
+  | None -> raise Not_found
+
+let trace_named t name p = trace t (Model.find t.comp.Compile.model name, p)
+let fire_group t g = exec_group t g
+
+let override_output t (b, p) v =
+  t.overrides.(bi b).(p) <- v;
+  match v with Some v -> t.signals.(bi b).(p) <- v | None -> ()
+
+let step_events t = t.events_this_step

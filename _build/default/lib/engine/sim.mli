@@ -1,0 +1,60 @@
+(** Fixed-step simulation engine (model-in-the-loop).
+
+    Executes a compiled model: at every major step the engine runs the
+    output pass over the blocks scheduled at that instant, then the
+    discrete update pass, then integrates all continuous states over the
+    step with the selected solver (minor steps re-evaluate only the
+    continuous subgraph, with discrete outputs held — Simulink fixed-step
+    semantics). Events fired by blocks execute their function-call group
+    immediately and atomically, reproducing the event-driven tasks of the
+    paper's execution model (§5). *)
+
+type t
+
+val create : ?solver:Ode.method_ -> ?solver_substeps:int -> Compile.t -> t
+(** Instantiate every block behaviour. Default solver [Rk4] (ode4).
+    [solver_substeps] (default 1) integrates the continuous states with
+    that many sub-steps per major step — needed when a slow discrete base
+    rate meets fast continuous dynamics (stiffness). *)
+
+val reset : t -> unit
+(** Back to time zero and initial block states. *)
+
+val time : t -> float
+val base_dt : t -> float
+val compiled : t -> Compile.t
+
+val probe : t -> Model.blk * int -> unit
+(** Record the signal at an output port at every major step. *)
+
+val probe_named : t -> string -> int -> unit
+(** [probe_named sim block_name port]. @raise Not_found on a bad name. *)
+
+val step : t -> unit
+(** Advance one major step. *)
+
+val run : t -> ?steps:int -> until:float -> unit -> unit
+(** Step until [time >= until] (or at most [steps] steps). *)
+
+val value : t -> Model.blk * int -> Value.t
+(** Current signal at an output port. *)
+
+val value_named : t -> string -> int -> Value.t
+
+val trace : t -> Model.blk * int -> (float * float) list
+(** Recorded probe samples as (time, numeric value), oldest first.
+    @raise Not_found if the port was never probed. *)
+
+val trace_named : t -> string -> int -> (float * float) list
+
+val fire_group : t -> Model.group -> unit
+(** Manually fire a function-call group (used by test harnesses and the
+    PIL target executive). *)
+
+val override_output : t -> Model.blk * int -> Value.t option -> unit
+(** Force an output port to a fixed value (or release it with [None]) —
+    the mechanism the PIL harness uses to redirect peripheral blocks to
+    communication buffers, as PEERT_PIL does in §6. *)
+
+val step_events : t -> int
+(** Number of events fired during the last major step. *)

@@ -1,0 +1,1 @@
+lib/fixpt/fixed.ml: Float Format Printf Qformat

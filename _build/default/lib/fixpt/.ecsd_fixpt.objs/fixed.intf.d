@@ -1,0 +1,1 @@
+lib/fixpt/fixed.mli: Format Qformat

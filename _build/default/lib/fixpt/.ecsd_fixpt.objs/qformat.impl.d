@@ -1,0 +1,1 @@
+lib/fixpt/qformat.ml: Format Printf

@@ -1,0 +1,34 @@
+type t = { signed : bool; word_bits : int; frac_bits : int }
+
+let make ~signed ~word_bits ~frac_bits =
+  if word_bits < 1 || word_bits > 62 then
+    invalid_arg "Qformat.make: word_bits must be in 1..62";
+  if frac_bits < 0 then invalid_arg "Qformat.make: frac_bits must be >= 0";
+  if signed && word_bits < 2 then
+    invalid_arg "Qformat.make: a signed format needs at least 2 bits";
+  { signed; word_bits; frac_bits }
+
+let q15 = make ~signed:true ~word_bits:16 ~frac_bits:15
+let q31 = make ~signed:true ~word_bits:32 ~frac_bits:31
+let q7 = make ~signed:true ~word_bits:8 ~frac_bits:7
+let ufix w f = make ~signed:false ~word_bits:w ~frac_bits:f
+let sfix w f = make ~signed:true ~word_bits:w ~frac_bits:f
+
+let max_raw t =
+  if t.signed then (1 lsl (t.word_bits - 1)) - 1 else (1 lsl t.word_bits) - 1
+
+let min_raw t = if t.signed then -(1 lsl (t.word_bits - 1)) else 0
+let resolution t = ldexp 1.0 (-t.frac_bits)
+let max_value t = float_of_int (max_raw t) *. resolution t
+let min_value t = float_of_int (min_raw t) *. resolution t
+
+let equal a b =
+  a.signed = b.signed && a.word_bits = b.word_bits && a.frac_bits = b.frac_bits
+
+let to_string t =
+  match (t.signed, t.word_bits, t.frac_bits) with
+  | true, w, f when f = w - 1 -> Printf.sprintf "Q%d" f
+  | true, w, f -> Printf.sprintf "sfix(%d,%d)" w f
+  | false, w, f -> Printf.sprintf "ufix(%d,%d)" w f
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,54 @@
+(** Fixed-point number formats.
+
+    A format [Q(s, w, f)] describes a binary fixed-point representation with
+    [w] total bits, [f] fractional bits and an optional sign bit. The real
+    value represented by a raw integer [r] is [r * 2^(-f)]. This mirrors the
+    fixed-point data types used by Simulink Fixed-Point and by 16-bit hybrid
+    controllers such as the MC56F8367 of the paper's case study (Q15 being
+    the canonical DSP format). *)
+
+type t = private {
+  signed : bool;  (** whether a sign bit is present *)
+  word_bits : int;  (** total width in bits, 1..62 *)
+  frac_bits : int;  (** number of fractional bits; may exceed [word_bits] *)
+}
+
+val make : signed:bool -> word_bits:int -> frac_bits:int -> t
+(** [make ~signed ~word_bits ~frac_bits] builds a format.
+    @raise Invalid_argument if [word_bits] is outside 1..62 (raw values are
+    kept in native OCaml [int]s) or [frac_bits] is negative. *)
+
+val q15 : t
+(** Signed 16-bit, 15 fractional bits: the DSP56800E native format. *)
+
+val q31 : t
+(** Signed 32-bit, 31 fractional bits. *)
+
+val q7 : t
+(** Signed 8-bit, 7 fractional bits. *)
+
+val ufix : int -> int -> t
+(** [ufix w f] is the unsigned format with [w] word bits, [f] fractional. *)
+
+val sfix : int -> int -> t
+(** [sfix w f] is the signed format with [w] word bits, [f] fractional. *)
+
+val max_raw : t -> int
+(** Largest representable raw value. *)
+
+val min_raw : t -> int
+(** Smallest representable raw value (0 when unsigned). *)
+
+val resolution : t -> float
+(** The real-value weight of one least-significant bit, [2^(-frac_bits)]. *)
+
+val max_value : t -> float
+(** Largest representable real value. *)
+
+val min_value : t -> float
+(** Smallest representable real value. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+(** E.g. ["Q15"], ["sfix(16,12)"], ["ufix(12,0)"]. *)

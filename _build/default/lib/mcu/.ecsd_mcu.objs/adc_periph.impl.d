@@ -1,0 +1,1 @@
+lib/mcu/adc_periph.ml: Array Float List Machine Mcu_db Printf

@@ -1,0 +1,1 @@
+lib/mcu/adc_periph.mli: Machine

@@ -1,0 +1,1 @@
+lib/mcu/evq.ml: Array

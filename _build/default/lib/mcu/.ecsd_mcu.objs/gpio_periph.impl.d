@@ -1,0 +1,1 @@
+lib/mcu/gpio_periph.ml: Hashtbl List Machine Mcu_db Printf

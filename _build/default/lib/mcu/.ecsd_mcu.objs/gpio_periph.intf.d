@@ -1,0 +1,1 @@
+lib/mcu/gpio_periph.mli: Machine

@@ -1,0 +1,1 @@
+lib/mcu/machine.ml: Array Evq Float List Mcu_db Stdlib

@@ -1,0 +1,1 @@
+lib/mcu/machine.mli: Mcu_db

@@ -1,0 +1,1 @@
+lib/mcu/mcu_db.ml: List Printf String

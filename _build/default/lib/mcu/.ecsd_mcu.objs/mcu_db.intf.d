@@ -1,0 +1,1 @@
+lib/mcu/mcu_db.mli:

@@ -1,0 +1,1 @@
+lib/mcu/pwm_periph.ml: Float Machine Mcu_db Printf

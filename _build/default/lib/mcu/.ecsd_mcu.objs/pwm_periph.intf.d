@@ -1,0 +1,1 @@
+lib/mcu/pwm_periph.mli: Machine

@@ -1,0 +1,1 @@
+lib/mcu/qdec_periph.mli: Machine

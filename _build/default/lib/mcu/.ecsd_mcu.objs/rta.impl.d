@@ -1,0 +1,1 @@
+lib/mcu/rta.ml: Float List Printf Stdlib

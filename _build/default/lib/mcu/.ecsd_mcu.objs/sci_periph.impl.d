@@ -1,0 +1,1 @@
+lib/mcu/sci_periph.ml: Float List Machine Mcu_db Queue

@@ -1,0 +1,1 @@
+lib/mcu/sci_periph.mli: Machine

@@ -1,0 +1,1 @@
+lib/mcu/timer_periph.ml: List Machine Mcu_db Printf

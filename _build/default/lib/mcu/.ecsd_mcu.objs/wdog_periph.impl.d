@@ -1,0 +1,1 @@
+lib/mcu/wdog_periph.ml: Machine

@@ -1,0 +1,71 @@
+type t = {
+  machine : Machine.t;
+  vref : float;
+  res_bits : int;
+  inputs : (unit -> float) array;
+  mutable eoc : unit -> unit;
+  mutable busy : bool;
+  mutable result : int;
+  mutable result_channel : int;
+  mutable dropped : int;
+}
+
+let create machine ?(vref = 3.3) ~resolution () =
+  let traits = Machine.traits machine in
+  if not (List.mem resolution traits.Mcu_db.adc.Mcu_db.resolutions) then
+    invalid_arg
+      (Printf.sprintf "Adc_periph.create: %d-bit mode unavailable on %s"
+         resolution traits.Mcu_db.name);
+  {
+    machine;
+    vref;
+    res_bits = resolution;
+    inputs =
+      Array.make traits.Mcu_db.adc.Mcu_db.adc_channels (fun () -> 0.0);
+    eoc = (fun () -> ());
+    busy = false;
+    result = 0;
+    result_channel = 0;
+    dropped = 0;
+  }
+
+let connect_input t ~channel f =
+  if channel < 0 || channel >= Array.length t.inputs then
+    invalid_arg "Adc_periph.connect_input: bad channel";
+  t.inputs.(channel) <- f
+
+let on_end_of_conversion t f = t.eoc <- f
+let max_code t = (1 lsl t.res_bits) - 1
+
+let quantize t v =
+  let code = int_of_float (Float.round (v /. t.vref *. float_of_int (max_code t))) in
+  if code < 0 then 0 else if code > max_code t then max_code t else code
+
+let code_to_volts t c = float_of_int c /. float_of_int (max_code t) *. t.vref
+
+let conversion_seconds t =
+  let traits = Machine.traits t.machine in
+  float_of_int traits.Mcu_db.adc.Mcu_db.conv_cycles /. traits.Mcu_db.f_cpu_hz
+
+let start_conversion t ~channel =
+  if channel < 0 || channel >= Array.length t.inputs then
+    invalid_arg "Adc_periph.start_conversion: bad channel";
+  if t.busy then t.dropped <- t.dropped + 1
+  else begin
+    t.busy <- true;
+    let traits = Machine.traits t.machine in
+    Machine.schedule t.machine ~after:traits.Mcu_db.adc.Mcu_db.conv_cycles
+      (fun () ->
+        (* sample-and-hold happens at start in real converters; sampling at
+           completion keeps the model simpler and differs by < 2 us *)
+        t.result <- quantize t (t.inputs.(channel) ());
+        t.result_channel <- channel;
+        t.busy <- false;
+        t.eoc ())
+  end
+
+let busy t = t.busy
+let read_raw t = t.result
+let read_channel t = t.result_channel
+let dropped_starts t = t.dropped
+let resolution t = t.res_bits

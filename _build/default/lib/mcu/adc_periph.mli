@@ -1,0 +1,41 @@
+(** Successive-approximation ADC.
+
+    Models what the paper's ADC block reproduces in simulation: finite
+    resolution (the MC56F8367's 12 bits) and a non-zero conversion time
+    after which the end-of-conversion event fires (§5: events are
+    "function-call ports … e.g. end of conversion in the case of ADC").
+    Analog inputs are supplied per channel as closures sampling the plant
+    model. *)
+
+type t
+
+val create : Machine.t -> ?vref:float -> resolution:int -> unit -> t
+(** @raise Invalid_argument if [resolution] is not offered by the MCU.
+    [vref] is the full-scale voltage (default 3.3). *)
+
+val connect_input : t -> channel:int -> (unit -> float) -> unit
+(** Attach an analog source (volts) to a channel.
+    @raise Invalid_argument on a channel beyond the MCU's count. *)
+
+val on_end_of_conversion : t -> (unit -> unit) -> unit
+
+val start_conversion : t -> channel:int -> unit
+(** Begin converting; the result register is loaded and the EOC callback
+    fired after the MCU's conversion time. Starting while busy is
+    ignored and counted. *)
+
+val busy : t -> bool
+val read_raw : t -> int
+(** Last conversion result (right-aligned raw code). *)
+
+val read_channel : t -> int
+(** Channel of the last completed conversion. *)
+
+val dropped_starts : t -> int
+val resolution : t -> int
+val max_code : t -> int
+val quantize : t -> float -> int
+(** The ideal transfer function: volts to output code, clamped. *)
+
+val code_to_volts : t -> int -> float
+val conversion_seconds : t -> float

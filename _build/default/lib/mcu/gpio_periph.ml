@@ -1,0 +1,51 @@
+type direction = Input | Output
+
+type pin_state = {
+  dir : direction;
+  mutable source : unit -> bool;
+  mutable latch : bool;
+  mutable notify : bool -> unit;
+}
+
+type t = { machine : Machine.t; pins : (string, pin_state) Hashtbl.t }
+
+let create machine = { machine; pins = Hashtbl.create 8 }
+
+let configure t ~pin dir =
+  let traits = Machine.traits t.machine in
+  if not (List.mem pin traits.Mcu_db.pins) then
+    invalid_arg
+      (Printf.sprintf "Gpio_periph.configure: %s has no pin %s"
+         traits.Mcu_db.name pin);
+  if Hashtbl.mem t.pins pin then
+    invalid_arg (Printf.sprintf "Gpio_periph.configure: pin %s already claimed" pin);
+  Hashtbl.replace t.pins pin
+    { dir; source = (fun () -> false); latch = false; notify = (fun _ -> ()) }
+
+let get t pin =
+  match Hashtbl.find_opt t.pins pin with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Gpio_periph: pin %s not configured" pin)
+
+let connect_input t ~pin f =
+  let p = get t pin in
+  match p.dir with
+  | Input -> p.source <- f
+  | Output -> invalid_arg "Gpio_periph.connect_input: output pin"
+
+let read t ~pin =
+  let p = get t pin in
+  match p.dir with Input -> p.source () | Output -> p.latch
+
+let write t ~pin v =
+  let p = get t pin in
+  match p.dir with
+  | Output ->
+      if p.latch <> v then begin
+        p.latch <- v;
+        p.notify v
+      end
+  | Input -> invalid_arg "Gpio_periph.write: input pin"
+
+let on_change t ~pin f = (get t pin).notify <- f
+let claimed t = Hashtbl.fold (fun k _ acc -> k :: acc) t.pins []

@@ -1,0 +1,29 @@
+(** General-purpose digital I/O port (the BitIO bean's hardware).
+
+    Pins are named as in the MCU database. Input pins read from attached
+    closures (e.g. the case study's push-button keyboard); output pins
+    latch values and expose change callbacks. *)
+
+type t
+type direction = Input | Output
+
+val create : Machine.t -> t
+
+val configure : t -> pin:string -> direction -> unit
+(** Claim and configure a pin.
+    @raise Invalid_argument if the MCU lacks the pin or it is already
+    claimed. *)
+
+val connect_input : t -> pin:string -> (unit -> bool) -> unit
+(** Attach the external world to an input pin. *)
+
+val read : t -> pin:string -> bool
+(** Input pins sample their source; output pins read back the latch. *)
+
+val write : t -> pin:string -> bool -> unit
+(** @raise Invalid_argument on an input pin. *)
+
+val on_change : t -> pin:string -> (bool -> unit) -> unit
+(** Callback on output latch changes. *)
+
+val claimed : t -> string list

@@ -1,0 +1,269 @@
+type irq_id = int
+
+type job = {
+  jname : string;
+  cycles : int;
+  action : unit -> unit;
+  stack_bytes : int;
+}
+
+type irq = {
+  iname : string;
+  prio : int;
+  handler : unit -> job;
+  mutable enabled : bool;
+  mutable pending : bool;
+  mutable pending_since : int;
+  mutable dispatches : int;
+  mutable overruns : int;
+  mutable response_cycles : float list;
+  mutable exec_cycles : float list;
+  mutable completion_cycles : int list;
+}
+
+type running = {
+  rjob : job;
+  rirq : irq_id option;
+  rprio : int;
+  mutable remaining : int;
+  mutable resumed_at : int;
+  raised_at : int;
+  started_at : int;
+}
+
+type cpu_state = Idle | Busy of running * running list
+
+type t = {
+  mcu : Mcu_db.t;
+  evq : Evq.t;
+  mutable irqs : irq array;
+  mutable n_irqs : int;
+  mutable cpu : cpu_state;
+  preemptive : bool;
+  base_stack : int;
+  mutable now : int;
+  mutable busy_cycles : int;
+  mutable max_stack : int;
+}
+
+let create ?(preemptive = false) ?(base_stack = 64) mcu =
+  {
+    mcu;
+    evq = Evq.create ();
+    irqs = [||];
+    n_irqs = 0;
+    cpu = Idle;
+    preemptive;
+    base_stack;
+    now = 0;
+    busy_cycles = 0;
+    max_stack = base_stack;
+  }
+
+let traits t = t.mcu
+let now_cycles t = t.now
+let now t = float_of_int t.now /. t.mcu.Mcu_db.f_cpu_hz
+let cycles_of_time t s = int_of_float (Float.round (s *. t.mcu.Mcu_db.f_cpu_hz))
+
+let schedule_at t ~cycle action =
+  if cycle < t.now then invalid_arg "Machine.schedule_at: past cycle";
+  Evq.push t.evq ~cycle action
+
+let schedule t ~after action =
+  if after < 0 then invalid_arg "Machine.schedule: negative delay";
+  Evq.push t.evq ~cycle:(t.now + after) action
+
+let register_irq t ~name ~prio ~handler =
+  let v =
+    {
+      iname = name;
+      prio;
+      handler;
+      enabled = true;
+      pending = false;
+      pending_since = 0;
+      dispatches = 0;
+      overruns = 0;
+      response_cycles = [];
+      exec_cycles = [];
+      completion_cycles = [];
+    }
+  in
+  t.irqs <- Array.append t.irqs [| v |];
+  let id = t.n_irqs in
+  t.n_irqs <- id + 1;
+  id
+
+let set_irq_enabled t id en = t.irqs.(id).enabled <- en
+let irq_name t id = t.irqs.(id).iname
+
+let raise_irq t id =
+  let v = t.irqs.(id) in
+  if v.pending then v.overruns <- v.overruns + 1
+  else begin
+    v.pending <- true;
+    v.pending_since <- t.now
+  end
+
+let highest_pending t =
+  let best = ref None in
+  Array.iteri
+    (fun i v ->
+      if v.pending && v.enabled then
+        match !best with
+        | None -> best := Some i
+        | Some j -> if v.prio < t.irqs.(j).prio then best := Some i)
+    t.irqs;
+  !best
+
+let stack_depth t =
+  match t.cpu with
+  | Idle -> t.base_stack
+  | Busy (r, stack) ->
+      List.fold_left
+        (fun acc rr -> acc + rr.rjob.stack_bytes)
+        (t.base_stack + r.rjob.stack_bytes)
+        stack
+
+let start_irq t id =
+  let v = t.irqs.(id) in
+  v.pending <- false;
+  v.dispatches <- v.dispatches + 1;
+  let job = v.handler () in
+  let total =
+    t.mcu.Mcu_db.irq_latency_cycles + job.cycles + t.mcu.Mcu_db.irq_exit_cycles
+  in
+  v.response_cycles <- float_of_int (t.now - v.pending_since) :: v.response_cycles;
+  let r =
+    {
+      rjob = job;
+      rirq = Some id;
+      rprio = v.prio;
+      remaining = total;
+      resumed_at = t.now;
+      raised_at = v.pending_since;
+      started_at = t.now;
+    }
+  in
+  (match t.cpu with
+  | Idle -> t.cpu <- Busy (r, [])
+  | Busy (cur, stack) ->
+      (* preemption: suspend the current job *)
+      cur.remaining <- cur.remaining - (t.now - cur.resumed_at);
+      t.cpu <- Busy (r, cur :: stack));
+  t.max_stack <- Stdlib.max t.max_stack (stack_depth t)
+
+let rec try_dispatch t =
+  match highest_pending t with
+  | None -> ()
+  | Some id -> (
+      match t.cpu with
+      | Idle ->
+          start_irq t id;
+          (* a zero-cycle job would complete immediately; handled by the
+             main loop's completion check *)
+          ()
+      | Busy (cur, _) ->
+          if t.preemptive && t.irqs.(id).prio < cur.rprio then begin
+            start_irq t id;
+            try_dispatch t
+          end)
+
+let complete_job t r =
+  (match r.rirq with
+  | Some id ->
+      let v = t.irqs.(id) in
+      v.exec_cycles <- float_of_int (t.now - r.started_at) :: v.exec_cycles;
+      v.completion_cycles <- t.now :: v.completion_cycles
+  | None -> ());
+  r.rjob.action ()
+
+let advance_to t ~cycle:target =
+  if target < t.now then invalid_arg "Machine.advance_to: target in the past";
+  (* interrupts enabled (or raised) outside of an advance are taken up
+     front, before the clock moves *)
+  try_dispatch t;
+  let progress upto =
+    (* account CPU busy time while moving the clock *)
+    (match t.cpu with
+    | Busy (r, _) ->
+        t.busy_cycles <- t.busy_cycles + (upto - r.resumed_at);
+        r.remaining <- r.remaining - (upto - r.resumed_at);
+        r.resumed_at <- upto
+    | Idle -> ());
+    t.now <- upto
+  in
+  let rec loop () =
+    let completion =
+      match t.cpu with
+      | Busy (r, _) -> Some (r.resumed_at + r.remaining)
+      | Idle -> None
+    in
+    let next_ev = Evq.peek_cycle t.evq in
+    let next_ev = match next_ev with Some c when c <= target -> Some c | _ -> None in
+    let completion =
+      match completion with Some c when c <= target -> Some c | _ -> None
+    in
+    match (completion, next_ev) with
+    | None, None -> progress target
+    | Some c, Some e when c <= e -> finish_at c
+    | Some c, None -> finish_at c
+    | _, Some e ->
+        progress e;
+        (* fire all events at this cycle *)
+        let rec drain () =
+          match Evq.peek_cycle t.evq with
+          | Some c when c = e -> (
+              match Evq.pop t.evq with
+              | Some (_, action) ->
+                  action ();
+                  drain ()
+              | None -> ())
+          | _ -> ()
+        in
+        drain ();
+        try_dispatch t;
+        loop ()
+  and finish_at c =
+    progress c;
+    match t.cpu with
+    | Busy (r, stack) ->
+        (match stack with
+        | [] -> t.cpu <- Idle
+        | top :: rest ->
+            top.resumed_at <- t.now;
+            t.cpu <- Busy (top, rest));
+        complete_job t r;
+        try_dispatch t;
+        loop ()
+    | Idle -> assert false
+  in
+  loop ()
+
+let advance t ~cycles = advance_to t ~cycle:(t.now + cycles)
+let run_until_time t s = advance_to t ~cycle:(cycles_of_time t s)
+let busy t = match t.cpu with Busy _ -> true | Idle -> false
+
+type irq_stats = {
+  dispatches : int;
+  overruns : int;
+  response_cycles : float list;
+  exec_cycles : float list;
+  completion_cycles : int list;
+}
+
+let stats_of t id =
+  let v = t.irqs.(id) in
+  {
+    dispatches = v.dispatches;
+    overruns = v.overruns;
+    response_cycles = v.response_cycles;
+    exec_cycles = v.exec_cycles;
+    completion_cycles = v.completion_cycles;
+  }
+
+let utilization t =
+  if t.now = 0 then 0.0 else float_of_int t.busy_cycles /. float_of_int t.now
+
+let max_stack_bytes t = t.max_stack
+let busy_cycles t = t.busy_cycles

@@ -1,0 +1,90 @@
+(** Cycle-level virtual MCU.
+
+    A discrete-event machine standing in for the development board of the
+    paper's PIL setup (§6). It models what the PIL experiments measure —
+    CPU occupancy, interrupt dispatch with priorities and entry/exit
+    latency, optional preemption, and stack usage — while on-chip
+    peripherals ({!Timer_periph}, {!Adc_periph}, {!Sci_periph}, …)
+    schedule events and raise interrupts against it. Work executes as
+    {e jobs}: named cycle budgets with a completion action, the cost
+    coming from the generated code's {!Cost_model}. *)
+
+type t
+type irq_id
+
+type job = {
+  jname : string;
+  cycles : int;  (** execution cost, CPU cycles *)
+  action : unit -> unit;  (** semantic effect, applied at completion *)
+  stack_bytes : int;
+}
+
+val create : ?preemptive:bool -> ?base_stack:int -> Mcu_db.t -> t
+(** [preemptive] (default false — the paper's generated code runs model
+    steps non-preemptively in the timer ISR) allows higher-priority
+    interrupts to suspend a running job. [base_stack] is the main-context
+    stack usage in bytes (default 64). *)
+
+val traits : t -> Mcu_db.t
+val now_cycles : t -> int
+val now : t -> float
+(** Simulated wall time in seconds, [cycles / f_cpu]. *)
+
+val cycles_of_time : t -> float -> int
+(** Convert seconds to cycles (rounded). *)
+
+(** {2 Event scheduling (peripheral side)} *)
+
+val schedule : t -> after:int -> (unit -> unit) -> unit
+(** Run an action [after] cycles from now (asynchronous hardware events;
+    the action runs regardless of CPU business). *)
+
+val schedule_at : t -> cycle:int -> (unit -> unit) -> unit
+
+(** {2 Interrupts} *)
+
+val register_irq :
+  t -> name:string -> prio:int -> handler:(unit -> job) -> irq_id
+(** Register a vector. Lower [prio] preempts/beats higher. The handler
+    closure builds the job at dispatch time, so its cost may depend on
+    state. *)
+
+val set_irq_enabled : t -> irq_id -> bool -> unit
+val raise_irq : t -> irq_id -> unit
+(** Mark pending; dispatched when the CPU can take it. Raising an
+    already-pending vector records an overrun. *)
+
+val irq_name : t -> irq_id -> string
+
+(** {2 Execution} *)
+
+val advance_to : t -> cycle:int -> unit
+(** Process events, dispatch interrupts and retire jobs up to the given
+    absolute cycle. *)
+
+val advance : t -> cycles:int -> unit
+val run_until_time : t -> float -> unit
+(** [advance_to] the cycle corresponding to a wall time. *)
+
+val busy : t -> bool
+(** Whether a job is currently executing. *)
+
+(** {2 Measurements (the PIL profiling data of §6)} *)
+
+type irq_stats = {
+  dispatches : int;
+  overruns : int;  (** raises that found the vector still pending *)
+  response_cycles : float list;
+      (** raise-to-start latency of each dispatch, newest first *)
+  exec_cycles : float list;  (** start-to-finish, including entry/exit *)
+  completion_cycles : int list;  (** absolute completion times *)
+}
+
+val stats_of : t -> irq_id -> irq_stats
+val utilization : t -> float
+(** Busy fraction of the elapsed cycles. *)
+
+val max_stack_bytes : t -> int
+(** High-water mark over nested contexts. *)
+
+val busy_cycles : t -> int

@@ -1,0 +1,72 @@
+(** Database of MCU descriptors.
+
+    Processor Expert's value proposition is that it "contains information
+    about supported MCUs and their on-chip peripherals" (§4); this module
+    is that knowledge base. Each descriptor carries the traits the expert
+    system validates against (clocking, prescalers, resolutions,
+    conversion timing, pins) and the traits the execution-time model
+    needs (word width, FPU/MAC availability). The three entries cover the
+    families named in the paper: the case study's 56F8xxx hybrid DSP/MCU,
+    an HCS12, and a ColdFire V2. *)
+
+type timer_traits = {
+  timer_channels : int;
+  prescalers : int list;  (** selectable clock dividers *)
+  counter_bits : int;
+}
+
+type adc_traits = {
+  adc_channels : int;
+  resolutions : int list;  (** selectable bit widths *)
+  conv_cycles : int;  (** CPU cycles for one conversion *)
+}
+
+type pwm_traits = { pwm_channels : int; pwm_counter_bits : int }
+
+type dac_traits = {
+  dac_channels : int;  (** 0 when the part has no DAC *)
+  dac_resolutions : int list;
+}
+
+type t = {
+  name : string;
+  family : string;
+  core : string;
+  f_cpu_hz : float;
+  word_bits : int;
+  has_fpu : bool;
+  has_mac : bool;  (** single-cycle multiply-accumulate (DSC cores) *)
+  flash_bytes : int;
+  ram_bytes : int;
+  irq_latency_cycles : int;  (** interrupt entry overhead *)
+  irq_exit_cycles : int;
+  timer : timer_traits;
+  adc : adc_traits;
+  pwm : pwm_traits;
+  dac : dac_traits;
+  sci_count : int;
+  has_qdec : bool;  (** hardware quadrature decoder *)
+  pins : string list;
+}
+
+val mc56f8367 : t
+(** The case study's 16-bit hybrid controller (60 MHz DSP56800E core,
+    hardware MAC, quadrature decoder, 12-bit ADC). *)
+
+val mc9s12dp256 : t
+(** 16-bit HCS12 automotive MCU, 25 MHz bus, software multiply. *)
+
+val mc56f8323 : t
+(** The small sibling of the case-study part: same DSP56800E core, 64 KiB
+    flash / 8 KiB RAM, fewer channels. *)
+
+val mcf5213 : t
+(** 32-bit ColdFire V2, 80 MHz, hardware multiply, no FPU. *)
+
+val mpc5554 : t
+(** 32-bit PowerPC e200z6 automotive MCU, 132 MHz, hardware FPU — the
+    "power PC" class the paper's conclusions point to. *)
+
+val all : t list
+val find : string -> t option
+(** Case-insensitive lookup by name. *)

@@ -1,0 +1,24 @@
+type t = { bits : int; mutable true_count : int }
+
+let create machine ?(register_bits = 16) () =
+  let traits = Machine.traits machine in
+  if not traits.Mcu_db.has_qdec then
+    invalid_arg
+      (Printf.sprintf "Qdec_periph.create: %s has no quadrature decoder"
+         traits.Mcu_db.name);
+  if register_bits < 4 || register_bits > 32 then
+    invalid_arg "Qdec_periph.create: register_bits out of 4..32";
+  { bits = register_bits; true_count = 0 }
+
+let set_true_count t c = t.true_count <- c
+
+let read_position t =
+  t.true_count land ((1 lsl t.bits) - 1)
+
+let diff t ~prev =
+  let m = 1 lsl t.bits in
+  let d = (read_position t - prev) land (m - 1) in
+  (* interpret as signed difference *)
+  if d >= m / 2 then d - m else d
+
+let register_bits t = t.bits

@@ -1,0 +1,27 @@
+(** Quadrature decoder peripheral.
+
+    Accumulates x4-decoded edge counts from an incremental encoder into a
+    position register, as the MC56F8367's decoder does for the case-study
+    IRC feedback. In co-simulation the plant side pushes the ideal count
+    (from {!Encoder.count_of_angle}); the peripheral maintains the
+    register including its finite width wrap-around, which the reading
+    software must handle by differencing. *)
+
+type t
+
+val create : Machine.t -> ?register_bits:int -> unit -> t
+(** @raise Invalid_argument when the MCU has no hardware decoder.
+    [register_bits] defaults to 16 (the 56F8xxx position register). *)
+
+val set_true_count : t -> int -> unit
+(** Drive the decoder with the absolute (unwrapped) encoder count. *)
+
+val read_position : t -> int
+(** Position register: the true count modulo the register width,
+    interpreted as an unsigned [register_bits] value. *)
+
+val diff : t -> prev:int -> int
+(** Wrap-aware difference between the current register and a previous
+    reading — what generated code computes each control period. *)
+
+val register_bits : t -> int

@@ -1,0 +1,28 @@
+(** General-purpose timer channel with prescaler and modulo counter.
+
+    The hardware beneath the TimerInt bean: counts CPU clocks divided by a
+    prescaler; when the count reaches the modulo it reloads and fires the
+    overflow callback (normally wired to {!Machine.raise_irq}). The
+    achievable periods are exactly [prescaler * modulo / f_cpu] — the
+    constraint the expert system solves against (§4). *)
+
+type t
+
+val create : Machine.t -> channel:int -> t
+(** Claim a timer channel. @raise Invalid_argument when the channel
+    exceeds the MCU's [timer_channels]. *)
+
+val configure : t -> prescaler:int -> modulo:int -> unit
+(** @raise Invalid_argument if the prescaler is not offered by the MCU or
+    the modulo exceeds the counter width. *)
+
+val on_overflow : t -> (unit -> unit) -> unit
+val start : t -> unit
+val stop : t -> unit
+val running : t -> bool
+
+val period_cycles : t -> int
+(** Current period in CPU cycles. *)
+
+val period_seconds : t -> float
+val channel : t -> int

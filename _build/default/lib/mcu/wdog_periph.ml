@@ -1,0 +1,49 @@
+type t = {
+  machine : Machine.t;
+  timeout_cycles : int;
+  mutable active : bool;
+  mutable deadline : int;
+  mutable epoch : int;
+  mutable bite_cb : unit -> unit;
+  mutable bite_count : int;
+}
+
+let create machine ~timeout () =
+  if timeout <= 0.0 then invalid_arg "Wdog_periph.create: timeout";
+  {
+    machine;
+    timeout_cycles = Machine.cycles_of_time machine timeout;
+    active = false;
+    deadline = 0;
+    epoch = 0;
+    bite_cb = (fun () -> ());
+    bite_count = 0;
+  }
+
+let rec arm t =
+  t.epoch <- t.epoch + 1;
+  t.deadline <- Machine.now_cycles t.machine + t.timeout_cycles;
+  let epoch = t.epoch in
+  Machine.schedule t.machine ~after:t.timeout_cycles (fun () ->
+      (* only the newest arming may bite; refreshes invalidate the rest *)
+      if t.active && t.epoch = epoch then begin
+        t.bite_count <- t.bite_count + 1;
+        t.bite_cb ();
+        if t.active then arm t
+      end)
+
+let enable t =
+  if not t.active then begin
+    t.active <- true;
+    arm t
+  end
+
+let disable t =
+  t.active <- false;
+  t.epoch <- t.epoch + 1
+
+let refresh t = if t.active then arm t
+let on_bite t f = t.bite_cb <- f
+let bites t = t.bite_count
+let enabled t = t.active
+let timeout_cycles t = t.timeout_cycles

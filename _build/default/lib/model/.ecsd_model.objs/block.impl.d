@@ -1,0 +1,1 @@
+lib/model/block.ml: Array Dtype Format Param Sample_time Value

@@ -1,0 +1,1 @@
+lib/model/block.mli: Dtype Format Param Sample_time Value

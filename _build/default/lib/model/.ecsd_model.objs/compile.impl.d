@@ -1,0 +1,1 @@
+lib/model/compile.ml: Array Block Dtype Float Format Fun Hashtbl List Model Printf Sample_time String

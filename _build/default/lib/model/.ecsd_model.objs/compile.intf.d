@@ -1,0 +1,1 @@
+lib/model/compile.mli: Dtype Format Model Sample_time

@@ -1,0 +1,1 @@
+lib/model/model.ml: Array Block Hashtbl List Param Printf Stdlib

@@ -1,0 +1,1 @@
+lib/model/param.ml: Array Dtype Format List Printf String

@@ -1,0 +1,1 @@
+lib/model/param.mli: Dtype Format

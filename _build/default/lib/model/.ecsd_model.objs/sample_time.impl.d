@@ -1,0 +1,1 @@
+lib/model/sample_time.ml: Float Format List Stdlib

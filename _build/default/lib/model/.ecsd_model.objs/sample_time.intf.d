@@ -1,0 +1,1 @@
+lib/model/sample_time.mli: Format

@@ -1,0 +1,283 @@
+exception Compile_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Compile_error s)) fmt
+
+type t = {
+  model : Model.t;
+  order : Model.blk array;
+  group_order : (Model.group * Model.blk array) list;
+  out_types : Dtype.t array array;
+  in_types : Dtype.t array array;
+  sample : Sample_time.resolved array;
+  base_dt : float;
+  has_continuous : bool;
+}
+
+let check_inputs m =
+  List.iter
+    (fun b ->
+      let spec = Model.spec_of m b in
+      for p = 0 to spec.Block.n_in - 1 do
+        if Model.driver m (b, p) = None then
+          err "model %s: input %s:%d is unconnected" (Model.name m)
+            (Model.block_name m b) p
+      done)
+    (Model.blocks m)
+
+(* Data-type fixpoint: iterate the per-block output type rules until no
+   port type changes. Port types start unknown; a cycle where every block
+   merely copies its input type never resolves and is reported. *)
+let propagate_types m =
+  let n = Model.n_blocks m in
+  let out_types = Array.make n [||] in
+  let blocks = Model.blocks m in
+  List.iter
+    (fun b ->
+      let spec = Model.spec_of m b in
+      out_types.(Model.blk_index b) <- Array.make spec.Block.n_out None)
+    blocks;
+  let input_types b =
+    let spec = Model.spec_of m b in
+    Array.init spec.Block.n_in (fun p ->
+        match Model.driver m (b, p) with
+        | Some (sb, sp) -> out_types.(Model.blk_index sb).(sp)
+        | None -> None)
+  in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < n + 2 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun b ->
+        let spec = Model.spec_of m b in
+        let ins = input_types b in
+        Array.iteri
+          (fun p rule ->
+            let current = out_types.(Model.blk_index b).(p) in
+            if current = None then
+              let inferred =
+                match rule with
+                | Block.Fixed_type dt -> Some dt
+                | Block.Same_as i ->
+                    if i < Array.length ins then ins.(i) else None
+                | Block.Type_fn f -> f ins
+              in
+              match inferred with
+              | Some dt ->
+                  out_types.(Model.blk_index b).(p) <- Some dt;
+                  changed := true
+              | None -> ())
+          spec.Block.out_types)
+      blocks
+  done;
+  (* Ports left untyped by the fixpoint (typically inside feedback loops
+     of type-copying blocks) default to the language default, double —
+     the same rule the paper calls out in §7. *)
+  let resolved_out =
+    Array.map
+      (Array.map (function Some dt -> dt | None -> Dtype.Double))
+      out_types
+  in
+  let in_types = Array.make n [||] in
+  List.iter
+    (fun b ->
+      let spec = Model.spec_of m b in
+      in_types.(Model.blk_index b) <-
+        Array.init spec.Block.n_in (fun p ->
+            match Model.driver m (b, p) with
+            | Some (sb, sp) -> resolved_out.(Model.blk_index sb).(sp)
+            | None -> assert false))
+    blocks;
+  (resolved_out, in_types)
+
+(* Sample-time fixpoint. Triggered-group membership dominates; explicit
+   specs stick; Inherited takes continuous if any driver is continuous,
+   otherwise the fastest driving discrete rate. Sourceless or cyclic
+   inherited blocks fall back to the fundamental step afterwards. *)
+let resolve_sample m ~default_dt =
+  let n = Model.n_blocks m in
+  let resolved : Sample_time.resolved option array = Array.make n None in
+  let blocks = Model.blocks m in
+  List.iter
+    (fun b ->
+      let spec = Model.spec_of m b in
+      let bi = Model.blk_index b in
+      match Model.group_of m b with
+      | Some _ -> resolved.(bi) <- Some Sample_time.R_triggered
+      | None -> (
+          match spec.Block.sample with
+          | Sample_time.Continuous -> resolved.(bi) <- Some Sample_time.R_continuous
+          | Sample_time.Discrete { period; offset } ->
+              resolved.(bi) <- Some (Sample_time.R_discrete { period; offset })
+          | Sample_time.Const -> resolved.(bi) <- Some Sample_time.R_const
+          | Sample_time.Triggered ->
+              err "model %s: %s declares Triggered but belongs to no group"
+                (Model.name m) (Model.block_name m b)
+          | Sample_time.Inherited -> ()))
+    blocks;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < n + 2 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun b ->
+        let bi = Model.blk_index b in
+        if resolved.(bi) = None then begin
+          let spec = Model.spec_of m b in
+          let driver_sts =
+            List.init spec.Block.n_in (fun p ->
+                match Model.driver m (b, p) with
+                | Some (sb, _) -> resolved.(Model.blk_index sb)
+                | None -> None)
+          in
+          let known = List.filter_map Fun.id driver_sts in
+          let all_known = List.length known = spec.Block.n_in in
+          if known <> [] then begin
+            let continuous =
+              List.exists (fun s -> s = Sample_time.R_continuous) known
+            in
+            let fastest =
+              List.fold_left
+                (fun acc s ->
+                  match s with
+                  | Sample_time.R_discrete { period; _ } ->
+                      Some (match acc with None -> period | Some a -> Float.min a period)
+                  | _ -> acc)
+                None known
+            in
+            if continuous then begin
+              resolved.(bi) <- Some Sample_time.R_continuous;
+              changed := true
+            end
+            else
+              match fastest with
+              | Some period when all_known ->
+                  resolved.(bi) <-
+                    Some (Sample_time.R_discrete { period; offset = 0.0 });
+                  changed := true
+              | Some _ -> () (* wait for remaining drivers *)
+              | None ->
+                  if all_known then
+                    if List.exists (fun s -> s = Sample_time.R_triggered) known
+                    then begin
+                      resolved.(bi) <- Some Sample_time.R_triggered;
+                      changed := true
+                    end
+                    else if Array.for_all Fun.id spec.Block.feedthrough then begin
+                      (* purely algebraic blocks fed only by constants are
+                         themselves constant; stateful blocks (any
+                         non-feedthrough input) must still run periodically
+                         and fall through to the base rate *)
+                      resolved.(bi) <- Some Sample_time.R_const;
+                      changed := true
+                    end
+          end
+        end)
+      blocks
+  done;
+  (* Fundamental step from what is already known. *)
+  let known = Array.to_list resolved |> List.filter_map Fun.id in
+  let base_dt =
+    match Sample_time.base_step known with Some d -> d | None -> default_dt
+  in
+  Array.iteri
+    (fun bi r ->
+      if r = None && bi < n then
+        resolved.(bi) <- Some (Sample_time.R_discrete { period = base_dt; offset = 0.0 }))
+    resolved;
+  let final = Array.map (function Some r -> r | None -> assert false) resolved in
+  (final, base_dt)
+
+(* Topological sort over direct-feedthrough data edges. [subset] selects
+   the block population (periodic vs one function-call group); edges from
+   outside the subset are treated as already-available state. *)
+let sort_subset m subset =
+  let in_subset = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace in_subset b ()) subset;
+  let deps b =
+    let spec = Model.spec_of m b in
+    List.init spec.Block.n_in (fun p -> p)
+    |> List.filter_map (fun p ->
+           if p < Array.length spec.Block.feedthrough && spec.Block.feedthrough.(p)
+           then
+             match Model.driver m (b, p) with
+             | Some (sb, _) when Hashtbl.mem in_subset sb -> Some sb
+             | _ -> None
+           else None)
+  in
+  let mark = Hashtbl.create 16 in
+  (* 0 = visiting, 1 = done *)
+  let order = ref [] in
+  let rec visit path b =
+    match Hashtbl.find_opt mark b with
+    | Some 1 -> ()
+    | Some 0 ->
+        let cycle =
+          List.map (Model.block_name m) (b :: path)
+          |> List.rev |> String.concat " -> "
+        in
+        err "model %s: algebraic loop: %s" (Model.name m) cycle
+    | Some _ -> assert false
+    | None ->
+        Hashtbl.replace mark b 0;
+        List.iter (visit (b :: path)) (deps b);
+        Hashtbl.replace mark b 1;
+        order := b :: !order
+  in
+  List.iter (visit []) subset;
+  Array.of_list (List.rev !order)
+
+let compile ?(default_dt = 1e-3) m =
+  if Model.blocks m = [] then err "model %s: empty model" (Model.name m);
+  check_inputs m;
+  let out_types, in_types = propagate_types m in
+  let sample, base_dt = resolve_sample m ~default_dt in
+  let periodic =
+    List.filter (fun b -> Model.group_of m b = None) (Model.blocks m)
+  in
+  let order = sort_subset m periodic in
+  let group_order =
+    List.map
+      (fun g -> (g, sort_subset m (Model.group_blocks m g)))
+      (Model.groups m)
+  in
+  let has_continuous =
+    Array.exists (fun s -> s = Sample_time.R_continuous) sample
+  in
+  { model = m; order; group_order; out_types; in_types; sample; base_dt; has_continuous }
+
+let resolved_of t b = t.sample.(Model.blk_index b)
+let out_type t (b, p) = t.out_types.(Model.blk_index b).(p)
+
+let signal_sources t =
+  let n = Model.n_blocks t.model in
+  let srcs = Array.make n [||] in
+  List.iter
+    (fun b ->
+      let spec = Model.spec_of t.model b in
+      srcs.(Model.blk_index b) <-
+        Array.init spec.Block.n_in (fun p ->
+            match Model.driver t.model (b, p) with
+            | Some s -> s
+            | None -> assert false))
+    (Model.blocks t.model);
+  srcs
+
+let pp_schedule ppf t =
+  Format.fprintf ppf "model %s, base step %g s@." (Model.name t.model) t.base_dt;
+  Array.iter
+    (fun b ->
+      let spec = Model.spec_of t.model b in
+      Format.fprintf ppf "  %-24s %-12s %a@." (Model.block_name t.model b)
+        spec.Block.kind Sample_time.pp_resolved
+        t.sample.(Model.blk_index b))
+    t.order;
+  List.iter
+    (fun (g, order) ->
+      Format.fprintf ppf "  group %s:@." (Model.group_name t.model g);
+      Array.iter
+        (fun b -> Format.fprintf ppf "    %s@." (Model.block_name t.model b))
+        order)
+    t.group_order

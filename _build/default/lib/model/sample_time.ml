@@ -1,0 +1,63 @@
+type spec =
+  | Continuous
+  | Discrete of { period : float; offset : float }
+  | Inherited
+  | Triggered
+  | Const
+
+type resolved =
+  | R_continuous
+  | R_discrete of { period : float; offset : float }
+  | R_triggered
+  | R_const
+
+let discrete ?(offset = 0.0) period =
+  if period <= 0.0 then invalid_arg "Sample_time.discrete: period <= 0";
+  if offset < 0.0 || offset >= period then
+    invalid_arg "Sample_time.discrete: offset must be in [0, period)";
+  Discrete { period; offset }
+
+let eps = 1e-9
+
+let hit r ~time ~base_dt:_ =
+  match r with
+  | R_continuous -> true
+  | R_triggered | R_const -> false
+  | R_discrete { period; offset } ->
+      let k = Float.round ((time -. offset) /. period) in
+      k >= -.eps && Float.abs (time -. offset -. (k *. period)) < eps *. Float.max 1.0 period
+
+(* GCD of floats within tolerance, via rational reduction against a fine
+   tick (1 ns) to stay robust against binary-fraction periods. *)
+let float_gcd a b =
+  let tick = 1e-9 in
+  let ia = int_of_float (Float.round (a /. tick)) in
+  let ib = int_of_float (Float.round (b /. tick)) in
+  let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+  float_of_int (gcd (Stdlib.abs ia) (Stdlib.abs ib)) *. tick
+
+let base_step resolveds =
+  let ds =
+    List.filter_map
+      (function
+        | R_discrete { period; offset } ->
+            Some (if offset > 0.0 then float_gcd period offset else period)
+        | R_continuous | R_triggered | R_const -> None)
+      resolveds
+  in
+  match ds with
+  | [] -> None
+  | d :: rest -> Some (List.fold_left float_gcd d rest)
+
+let pp_spec ppf = function
+  | Continuous -> Format.pp_print_string ppf "continuous"
+  | Discrete { period; offset } -> Format.fprintf ppf "discrete(%g,%g)" period offset
+  | Inherited -> Format.pp_print_string ppf "inherited"
+  | Triggered -> Format.pp_print_string ppf "triggered"
+  | Const -> Format.pp_print_string ppf "const"
+
+let pp_resolved ppf = function
+  | R_continuous -> Format.pp_print_string ppf "continuous"
+  | R_discrete { period; offset } -> Format.fprintf ppf "discrete(%g,%g)" period offset
+  | R_triggered -> Format.pp_print_string ppf "triggered"
+  | R_const -> Format.pp_print_string ppf "const"

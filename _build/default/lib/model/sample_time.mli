@@ -1,0 +1,37 @@
+(** Block sample times.
+
+    Every block executes under one of these regimes, mirroring Simulink:
+    continuous blocks are integrated by the solver, discrete blocks execute
+    at sample hits of their period/offset, inherited blocks take the regime
+    of their drivers, and triggered blocks execute only when their
+    function-call group fires (the event-driven tasks of §5). *)
+
+type spec =
+  | Continuous
+  | Discrete of { period : float; offset : float }
+  | Inherited
+  | Triggered
+  | Const  (** evaluated once at initialisation (e.g. Constant block) *)
+
+type resolved =
+  | R_continuous
+  | R_discrete of { period : float; offset : float }
+  | R_triggered
+  | R_const
+
+val discrete : ?offset:float -> float -> spec
+(** [discrete p] is [Discrete {period = p; offset = 0.}].
+    @raise Invalid_argument if the period is not positive or the offset is
+    negative or not smaller than the period. *)
+
+val hit : resolved -> time:float -> base_dt:float -> bool
+(** Whether a block with the given resolved regime executes at the major
+    step starting at [time]; continuous blocks hit every base step. *)
+
+val base_step : resolved list -> float option
+(** Greatest common divisor of all discrete periods and offsets (within
+    tolerance), i.e. the fundamental sample time of the model; [None] when
+    no discrete rate exists. *)
+
+val pp_spec : Format.formatter -> spec -> unit
+val pp_resolved : Format.formatter -> resolved -> unit

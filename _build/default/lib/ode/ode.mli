@@ -1,0 +1,44 @@
+(** Fixed- and adaptive-step ODE solvers.
+
+    The MIL simulation engine integrates the continuous states of the plant
+    model with one of these solvers, exactly as Simulink's fixed-step
+    solvers do during the paper's closed-loop simulation (Fig 7.1). The
+    derivative function [f t x] returns dx/dt; states are flat float
+    arrays. *)
+
+type deriv = float -> float array -> float array
+
+type method_ = Euler | Heun | Rk4
+(** Explicit fixed-step methods (Simulink ode1, ode2, ode4). *)
+
+val step : method_ -> deriv -> float -> float array -> float -> float array
+(** [step m f t x h] advances [x] from [t] to [t +. h]. The input array is
+    not mutated. *)
+
+val integrate :
+  method_ ->
+  deriv ->
+  t0:float ->
+  t1:float ->
+  h:float ->
+  float array ->
+  (float * float array) list
+(** Dense fixed-step integration from [t0] to [t1]; returns the trajectory
+    including both endpoints. The final step is shortened to land exactly
+    on [t1]. *)
+
+val rkf45 :
+  deriv ->
+  t0:float ->
+  t1:float ->
+  ?h0:float ->
+  ?tol:float ->
+  ?h_min:float ->
+  float array ->
+  (float * float array) list
+(** Adaptive Runge–Kutta–Fehlberg 4(5) with per-step error control
+    (Simulink ode45 equivalent), used to produce reference trajectories
+    against which the fixed-step results are validated. *)
+
+val order : method_ -> int
+(** Classical convergence order of a method. *)

@@ -1,0 +1,1 @@
+lib/peert/blockgen.ml: Array Block C_ast C_print Dtype Float Fun Hashtbl List Option Param Pid Printf String Ztransfer

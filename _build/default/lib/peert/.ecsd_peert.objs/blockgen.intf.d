@@ -1,0 +1,1 @@
+lib/peert/blockgen.mli: Block C_ast

@@ -1,0 +1,1 @@
+lib/peert/cost_model.ml: Array Block Dtype Float Mcu_db Param String

@@ -1,0 +1,1 @@
+lib/peert/cost_model.mli: Block Dtype Mcu_db

@@ -1,0 +1,1 @@
+lib/peert/pil_target.ml: Bean Bean_project Block Blockgen C_ast Compile List Model Printf Stdlib String Target

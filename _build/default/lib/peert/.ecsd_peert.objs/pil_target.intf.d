@@ -1,0 +1,1 @@
+lib/peert/pil_target.mli: Bean_project C_ast Compile Target

@@ -1,0 +1,1 @@
+lib/peert/plantgen.ml: Array Block Blockgen C_ast C_print Float List Param Printf String

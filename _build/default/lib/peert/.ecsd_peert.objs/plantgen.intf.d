@@ -1,0 +1,1 @@
+lib/peert/plantgen.mli: Block Blockgen

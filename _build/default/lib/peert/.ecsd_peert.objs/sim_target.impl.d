@@ -1,0 +1,1 @@
+lib/peert/sim_target.ml: Array Block Blockgen C_ast C_print Compile Filename List Model Param Plantgen Printf Stdlib String Sys Target

@@ -1,0 +1,1 @@
+lib/peert/sim_target.mli: C_ast Compile

@@ -1,0 +1,1 @@
+lib/peert/target.mli: Bean_project Blockgen C_ast Compile Model

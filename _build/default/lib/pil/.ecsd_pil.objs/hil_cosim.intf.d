@@ -1,0 +1,1 @@
+lib/pil/hil_cosim.mli: Dc_motor Encoder Load_profile Mcu_db Sim Stats Target

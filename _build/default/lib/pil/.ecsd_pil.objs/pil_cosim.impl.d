@@ -1,0 +1,1 @@
+lib/pil/pil_cosim.ml: Array Block Compile Dtype Float Framer Int64 List Machine Mcu_db Model Packet Printf Sci_periph Sim Stats Target Value

@@ -1,0 +1,1 @@
+lib/pil/pil_cosim.mli: Mcu_db Sim Stats Target

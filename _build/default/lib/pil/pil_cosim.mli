@@ -1,0 +1,75 @@
+(** Processor-in-the-loop co-simulation (Fig 6.2).
+
+    The host PC ("simulator PC" running the plant model generated for the
+    xPC target) and the development board exchange one packet pair per
+    control period over the RS-232 line: sensors down, actuators back.
+    Here the development board is the {!Machine} virtual MCU executing
+    the controller's generated schedule — behaviourally by stepping the
+    very same compiled model through the MIL engine with peripheral
+    outputs overridden from the communication buffer (what PEERT_PIL's
+    generated code does), and temporally by charging the generated code's
+    cycle costs, the per-byte ISR costs and the line's baud rate.
+
+    Everything the paper says PIL reveals is measured: "the execution
+    times of the implemented controller code, interrupts response times,
+    sampling jitters, memory and stack requirements" (§6). *)
+
+(** How the host side couples the plant to the link. Sensor and actuator
+    arrays are indexed by the PIL buffer slots of the {!Target.schedule}
+    (16-bit raw values, exactly what the wire carries). *)
+type 'p plant_driver = {
+  read_sensors : 'p -> time:float -> int array;
+  apply_actuators : 'p -> int array -> unit;
+  advance : 'p -> dt:float -> unit;
+  observe : 'p -> (string * float) list;
+      (** named probes recorded once per control period *)
+}
+
+type profile = {
+  periods : int;
+  controller_exec : Stats.summary;  (** seconds per step, on the target *)
+  response_latency : Stats.summary;
+      (** period start to actuator-reply completion, seconds *)
+  step_start_jitter : float;
+      (** peak-to-peak variation of step start within the period, s *)
+  comm_bytes_per_period : int;
+  comm_time_per_period : float;  (** wire time of both packets, seconds *)
+  cpu_utilization : float;
+  max_stack_bytes : int;
+  overruns : int;  (** periods whose reply missed the deadline *)
+  crc_errors : int;
+  sci_rx_overruns : int;
+}
+
+type result = {
+  profile : profile;
+  trace : (float * (string * float) list) list;
+      (** per-period host observations, oldest first *)
+}
+
+val run :
+  ?baud:int ->
+  ?rx_isr_cycles:int ->
+  ?tx_isr_cycles:int ->
+  ?preemptive:bool ->
+  ?error_rate:float ->
+  ?seed:int ->
+  mcu:Mcu_db.t ->
+  schedule:Target.schedule ->
+  controller:Sim.t ->
+  plant:'p ->
+  driver:'p plant_driver ->
+  periods:int ->
+  unit ->
+  result
+(** Run [periods] control periods. [baud] defaults to 115200 (the
+    paper's RS-232 link; sweep it for experiment E5). [error_rate] is a
+    per-byte corruption probability on the line (deterministic PRNG with
+    [seed]), exercising the CRC path. [preemptive] configures the
+    interrupt controller (E7 ablation).
+    @raise Invalid_argument when a period cannot even carry the two
+    packets at the given baud rate (the feasibility boundary — the error
+    message carries the minimum period). *)
+
+val wire_bytes_per_period : schedule:Target.schedule -> int
+(** Size of one sensor plus one actuator packet before stuffing. *)

@@ -1,0 +1,1 @@
+lib/plant/dc_motor.ml: Array Ode

@@ -1,0 +1,1 @@
+lib/plant/encoder.ml: Float

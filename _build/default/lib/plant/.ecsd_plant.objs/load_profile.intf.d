@@ -1,0 +1,1 @@
+lib/plant/load_profile.mli:

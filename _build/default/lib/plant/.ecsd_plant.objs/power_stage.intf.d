@@ -1,0 +1,1 @@
+lib/plant/power_stage.mli:

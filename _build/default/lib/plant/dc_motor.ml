@@ -1,0 +1,46 @@
+type params = {
+  ra : float;
+  la : float;
+  ke : float;
+  kt : float;
+  j : float;
+  b : float;
+  u_max : float;
+}
+
+(* A 24 V brushed servo motor: ~0.5 ms electrical and ~60 ms mechanical
+   time constant, no-load speed about 460 rad/s at 24 V. *)
+let default =
+  {
+    ra = 2.0;
+    la = 1.0e-3;
+    ke = 0.05;
+    kt = 0.05;
+    j = 1.5e-5;
+    b = 1.0e-5;
+    u_max = 24.0;
+  }
+
+type state = { i : float; w : float; theta : float }
+
+let initial = { i = 0.0; w = 0.0; theta = 0.0 }
+
+let derivatives p ~u ~tau_load s =
+  let di = (u -. (p.ra *. s.i) -. (p.ke *. s.w)) /. p.la in
+  let dw = ((p.kt *. s.i) -. (p.b *. s.w) -. tau_load) /. p.j in
+  (di, dw)
+
+let step ?(method_ = Ode.Rk4) p ~u ~tau_load ~h s =
+  let f _t x =
+    let s = { i = x.(0); w = x.(1); theta = x.(2) } in
+    let di, dw = derivatives p ~u ~tau_load s in
+    [| di; dw; s.w |]
+  in
+  let x' = Ode.step method_ f 0.0 [| s.i; s.w; s.theta |] h in
+  { i = x'.(0); w = x'.(1); theta = x'.(2) }
+
+let steady_state_speed p ~u ~tau_load =
+  ((p.kt *. u) -. (p.ra *. tau_load)) /. ((p.ra *. p.b) +. (p.ke *. p.kt))
+
+let electrical_time_constant p = p.la /. p.ra
+let mechanical_time_constant p = p.j *. p.ra /. ((p.ra *. p.b) +. (p.ke *. p.kt))

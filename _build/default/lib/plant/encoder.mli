@@ -1,0 +1,35 @@
+(** Incremental rotary encoder (IRC) model.
+
+    The case-study feedback device: "100 periods of two phase shifted pulse
+    signals A and B per rotation and one index pulse per rotation" (§7).
+    The model converts a continuous shaft angle into quadrature signal
+    levels and into the edge count a hardware quadrature decoder
+    accumulates (4 counts per line in x4 decoding). *)
+
+type t
+
+val create : ?lines_per_rev:int -> unit -> t
+(** [lines_per_rev] defaults to the paper's 100. *)
+
+val lines_per_rev : t -> int
+
+val counts_per_rev : t -> int
+(** x4 decoding: [4 * lines_per_rev]. *)
+
+val signals : t -> theta:float -> bool * bool * bool
+(** [(a, b, index)] signal levels at shaft angle [theta] (rad). The index
+    pulse is active in the first quarter line of each revolution. *)
+
+val count_of_angle : t -> theta:float -> int
+(** Ideal x4 decoder count for an absolute angle, negative for negative
+    angles — the value a {!Qdec} peripheral register converges to. *)
+
+val angle_of_count : t -> int -> float
+(** Inverse quantised mapping: angle represented by a count. *)
+
+val speed_of_counts :
+  t -> dt:float -> int -> int -> float
+(** [speed_of_counts enc ~dt c0 c1] is the angular velocity estimate
+    (rad/s) a controller computes from two successive count captures one
+    sample period apart; quantisation makes this the dominant measurement
+    noise in the loop. *)

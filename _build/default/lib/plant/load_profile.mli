@@ -1,0 +1,14 @@
+(** Load-torque profiles applied to the motor shaft during experiments. *)
+
+type t =
+  | No_load
+  | Constant of float  (** constant torque, N.m *)
+  | Viscous of float  (** torque = k * w *)
+  | Step of { at : float; torque : float }
+      (** torque applied from time [at] on — the disturbance-rejection
+          workload of experiment E1 *)
+  | Pulse of { start : float; stop : float; torque : float }
+  | Sum of t list
+
+val torque : t -> time:float -> w:float -> float
+(** Load torque at a simulation time and shaft speed. *)

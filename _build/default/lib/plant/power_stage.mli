@@ -1,0 +1,29 @@
+(** PWM power stage (switched transistor bridge) model.
+
+    The motor "is actuated by a power transistor switched by a pulse width
+    modulated signal from the MCU" (§7). Because the PWM frequency (tens of
+    kHz) is far above the electrical pole of the motor, the stage is
+    modelled by its cycle-averaged output voltage, plus an optional
+    dead-time and resistive-drop non-ideality used in the fidelity
+    experiments. *)
+
+type t = {
+  u_supply : float;  (** bridge supply voltage, V *)
+  dead_time_frac : float;  (** duty lost to switching dead time, 0..1 *)
+  r_on : float;  (** conduction resistance of the transistor, Ohm *)
+  bipolar : bool;  (** bipolar drive maps duty 0..1 to -U..+U *)
+}
+
+val ideal : u_supply:float -> t
+(** Lossless unipolar stage. *)
+
+val bipolar : u_supply:float -> t
+(** Lossless bipolar (full-bridge) stage: duty 0.5 is 0 V. *)
+
+val output_voltage : t -> duty:float -> i:float -> float
+(** Cycle-averaged voltage applied to the motor for a commanded duty ratio
+    (clamped to 0..1) at armature current [i]. *)
+
+val duty_of_voltage : t -> float -> float
+(** Inverse mapping for the ideal part of the stage (used by controllers to
+    convert a commanded voltage into a PWM ratio), clamped to 0..1. *)

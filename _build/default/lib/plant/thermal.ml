@@ -1,0 +1,18 @@
+type params = { c_th : float; r_th : float; t_amb : float; p_max : float }
+
+let default = { c_th = 150.0; r_th = 2.0; t_amb = 25.0; p_max = 200.0 }
+
+let clamp_power p x = if x < 0.0 then 0.0 else if x > p.p_max then p.p_max else x
+
+let derivative p ~p_in temp =
+  let p_in = clamp_power p p_in in
+  (p_in -. ((temp -. p.t_amb) /. p.r_th)) /. p.c_th
+
+let steady_state p ~p_in = p.t_amb +. (clamp_power p p_in *. p.r_th)
+let time_constant p = p.r_th *. p.c_th
+
+(* Exact discretisation of the linear first-order model. *)
+let step p ~p_in ~h temp =
+  let tau = time_constant p in
+  let t_inf = steady_state p ~p_in in
+  t_inf +. ((temp -. t_inf) *. exp (-.h /. tau))

@@ -1,0 +1,26 @@
+(** First-order thermal plant.
+
+    A second application domain for the examples: temperature control of a
+    heated mass, [C * dT/dt = P_in - (T - T_amb)/R]. Slow dynamics make it
+    the natural workload for the low-rate multitasking examples. *)
+
+type params = {
+  c_th : float;  (** heat capacity, J/K *)
+  r_th : float;  (** thermal resistance to ambient, K/W *)
+  t_amb : float;  (** ambient temperature, degC *)
+  p_max : float;  (** heater power ceiling, W *)
+}
+
+val default : params
+
+val derivative : params -> p_in:float -> float -> float
+(** dT/dt at heater power [p_in] (clamped to 0..p_max) and temperature. *)
+
+val step : params -> p_in:float -> h:float -> float -> float
+(** Advance the temperature by [h] seconds (exact exponential update, so
+    the model is unconditionally stable for any step). *)
+
+val steady_state : params -> p_in:float -> float
+(** Equilibrium temperature for constant power. *)
+
+val time_constant : params -> float

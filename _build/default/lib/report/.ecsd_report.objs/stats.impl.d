@@ -1,0 +1,1 @@
+lib/report/stats.ml: Array Float Format List Stdlib

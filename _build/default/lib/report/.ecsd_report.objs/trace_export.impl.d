@@ -1,0 +1,1 @@
+lib/report/trace_export.ml: Array Buffer Float List Printf String

@@ -1,0 +1,81 @@
+type series = { label : string; points : (float * float) list }
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@' |]
+
+let bounds series =
+  let xs = List.concat_map (fun s -> List.map fst s.points) series in
+  let ys = List.concat_map (fun s -> List.map snd s.points) series in
+  match (xs, ys) with
+  | [], _ | _, [] -> (0.0, 1.0, 0.0, 1.0)
+  | _ ->
+      let mn l = List.fold_left Float.min infinity l in
+      let mx l = List.fold_left Float.max neg_infinity l in
+      let x0 = mn xs and x1 = mx xs and y0 = mn ys and y1 = mx ys in
+      let pad lo hi = if hi -. lo < 1e-12 then (lo -. 0.5, hi +. 0.5) else (lo, hi) in
+      let x0, x1 = pad x0 x1 and y0, y1 = pad y0 y1 in
+      (x0, x1, y0, y1)
+
+let plot ?(width = 72) ?(height = 20) ?title ?x_label ?y_label series =
+  let x0, x1, y0, y1 = bounds series in
+  let grid = Array.make_matrix height width ' ' in
+  let place si (x, y) =
+    let c = Float.round ((x -. x0) /. (x1 -. x0) *. float_of_int (width - 1)) in
+    let r = Float.round ((y -. y0) /. (y1 -. y0) *. float_of_int (height - 1)) in
+    if Float.is_nan c || Float.is_nan r then ()
+    else
+      let c = int_of_float c and r = height - 1 - int_of_float r in
+      if c >= 0 && c < width && r >= 0 && r < height then
+        grid.(r).(c) <- glyphs.(si mod Array.length glyphs)
+  in
+  List.iteri (fun si s -> List.iter (place si) s.points) series;
+  let buf = Buffer.create 1024 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  (match y_label with
+  | Some l ->
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  let ylab v = Printf.sprintf "%10.4g" v in
+  for r = 0 to height - 1 do
+    let label =
+      if r = 0 then ylab y1
+      else if r = height - 1 then ylab y0
+      else if r = (height - 1) / 2 then ylab ((y0 +. y1) /. 2.0)
+      else String.make 10 ' '
+    in
+    Buffer.add_string buf label;
+    Buffer.add_string buf " |";
+    Buffer.add_string buf (String.init width (fun c -> grid.(r).(c)));
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf (String.make 11 ' ');
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "%s%-10.4g%s%10.4g\n" (String.make 12 ' ') x0
+       (String.make (max 1 (width - 20)) ' ')
+       x1);
+  (match x_label with
+  | Some l ->
+      Buffer.add_string buf (String.make 12 ' ');
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  if List.length series > 1 then begin
+    Buffer.add_string buf "  legend:";
+    List.iteri
+      (fun si s ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %c %s" glyphs.(si mod Array.length glyphs) s.label))
+      series;
+    Buffer.add_char buf '\n'
+  end;
+  Buffer.contents buf
+
+let print ?width ?height ?title ?x_label ?y_label series =
+  print_string (plot ?width ?height ?title ?x_label ?y_label series)

@@ -1,0 +1,27 @@
+(** ASCII line plots.
+
+    Used to regenerate the paper's figure-shaped results (step responses,
+    degradation curves) in a terminal, in the spirit of a Simulink scope. *)
+
+type series = { label : string; points : (float * float) list }
+
+val plot :
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  ?x_label:string ->
+  ?y_label:string ->
+  series list ->
+  string
+(** Render one or more series into a character raster with axes and a
+    legend. Series beyond the first are drawn with distinct glyphs.
+    Default raster is 72x20. *)
+
+val print :
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  ?x_label:string ->
+  ?y_label:string ->
+  series list ->
+  unit

@@ -1,0 +1,102 @@
+type align = Left | Right
+
+type t = {
+  title : string option;
+  headers : string list;
+  mutable rows : [ `Row of string list | `Sep ] list;  (* reversed *)
+}
+
+let create ?title headers = { title; headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: expected %d cells, got %d"
+         (List.length t.headers) (List.length cells));
+  t.rows <- `Row cells :: t.rows
+
+let add_rows t rows = List.iter (add_row t) rows
+let add_sep t = t.rows <- `Sep :: t.rows
+
+let looks_numeric s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         (c >= '0' && c <= '9')
+         || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'E' || c = '%'
+         || c = ' ' || c = 'x')
+       s
+
+let render ?align t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri
+      (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+      cells
+  in
+  measure t.headers;
+  List.iter (function `Row cells -> measure cells | `Sep -> ()) rows;
+  let aligns =
+    match align with
+    | Some l when List.length l = ncols -> Array.of_list l
+    | Some _ | None ->
+        (* Default: a column is right-aligned if all its body cells look
+           numeric. *)
+        Array.init ncols (fun i ->
+            let col_numeric =
+              List.for_all
+                (function
+                  | `Row cells -> looks_numeric (List.nth cells i)
+                  | `Sep -> true)
+                rows
+              && rows <> []
+            in
+            if col_numeric then Right else Left)
+  in
+  let pad i s =
+    let w = widths.(i) in
+    let n = w - String.length s in
+    if n <= 0 then s
+    else
+      match aligns.(i) with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let buf = Buffer.create 256 in
+  let hline () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit_row cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad i c);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  hline ();
+  emit_row t.headers;
+  hline ();
+  List.iter (function `Row cells -> emit_row cells | `Sep -> hline ()) rows;
+  hline ();
+  Buffer.contents buf
+
+let print ?align t = print_string (render ?align t)
+
+let cell_f ?(dec = 3) x = Printf.sprintf "%.*f" dec x
+let cell_pct ?(dec = 1) x = Printf.sprintf "%.*f %%" dec (100.0 *. x)

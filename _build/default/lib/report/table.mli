@@ -1,0 +1,34 @@
+(** ASCII table rendering for the experiment harness.
+
+    Every experiment of EXPERIMENTS.md prints its results through this
+    module so that [dune exec bench/main.exe] regenerates the paper's
+    tables in a uniform format. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> string list -> t
+(** [create ~title headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. @raise Invalid_argument if the arity differs from the
+    header. *)
+
+val add_rows : t -> string list list -> unit
+
+val add_sep : t -> unit
+(** Append a horizontal separator row. *)
+
+val render : ?align:align list -> t -> string
+(** Render to a string; numeric-looking columns default to right
+    alignment unless [align] overrides per column. *)
+
+val print : ?align:align list -> t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val cell_f : ?dec:int -> float -> string
+(** Format a float cell with [dec] decimals (default 3). *)
+
+val cell_pct : ?dec:int -> float -> string
+(** Format a ratio as a percentage cell, e.g. [0.123] -> ["12.3 %"]. *)

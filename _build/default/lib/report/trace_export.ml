@@ -1,0 +1,48 @@
+let csv_of_series ~header rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.concat "," ("time" :: header));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (t, values) ->
+      if List.length values <> List.length header then
+        invalid_arg "Trace_export.csv_of_series: row arity mismatch";
+      Buffer.add_string buf (Printf.sprintf "%.9g" t);
+      List.iter (fun v -> Buffer.add_string buf (Printf.sprintf ",%.9g" v)) values;
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let align traces =
+  let header = List.map fst traces in
+  let times =
+    List.concat_map (fun (_, tr) -> List.map fst tr) traces
+    |> List.sort_uniq Float.compare
+  in
+  (* carry-forward per trace, walking the sorted union of time stamps *)
+  let cursors = Array.of_list (List.map snd traces) in
+  let currents = Array.make (Array.length cursors) nan in
+  let rows =
+    List.map
+      (fun t ->
+        Array.iteri
+          (fun i _ ->
+            let rec consume () =
+              match cursors.(i) with
+              | (ti, v) :: rest when ti <= t +. 1e-12 ->
+                  currents.(i) <- v;
+                  cursors.(i) <- rest;
+                  consume ()
+              | _ -> ()
+            in
+            consume ())
+          cursors;
+        (t, Array.to_list currents))
+      times
+  in
+  (header, rows)
+
+let write_csv ~path traces =
+  let header, rows = align traces in
+  let oc = open_out path in
+  output_string oc (csv_of_series ~header rows);
+  close_out oc

@@ -1,0 +1,20 @@
+(** Trace export for external visualisation.
+
+    The paper's PIL setup visualises "any chosen data … on the host PC"
+    (§6); here traces leave the environment as CSV for whatever plotting
+    tool sits outside the terminal. *)
+
+val csv_of_series : header:string list -> (float * float list) list -> string
+(** [csv_of_series ~header rows]: a time column plus one column per
+    series; the header names the value columns (["time"] is prepended).
+    @raise Invalid_argument on arity mismatch between header and rows. *)
+
+val align :
+  (string * (float * float) list) list -> string list * (float * float list) list
+(** Merge named (time, value) traces into one table on the union of time
+    stamps (values carried forward, initial gaps as [nan]); returns the
+    header and rows for {!csv_of_series}. *)
+
+val write_csv :
+  path:string -> (string * (float * float) list) list -> unit
+(** [align] + [csv_of_series] + file output. *)

@@ -1,0 +1,1 @@
+lib/sigtypes/dtype.ml: Format Printf Qformat

@@ -1,0 +1,1 @@
+lib/sigtypes/dtype.mli: Format Qformat

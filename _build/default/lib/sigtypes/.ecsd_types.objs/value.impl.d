@@ -1,0 +1,1 @@
+lib/sigtypes/value.ml: Dtype Fixed Float Format Printf Qformat

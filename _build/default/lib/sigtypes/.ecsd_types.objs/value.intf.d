@@ -1,0 +1,1 @@
+lib/sigtypes/value.mli: Dtype Fixed Format

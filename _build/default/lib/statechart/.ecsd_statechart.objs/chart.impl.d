@@ -1,0 +1,1 @@
+lib/statechart/chart.ml: Hashtbl List Option Printf

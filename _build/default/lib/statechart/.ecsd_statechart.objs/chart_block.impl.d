@@ -1,0 +1,1 @@
+lib/statechart/chart_block.ml: Array Block Dtype Sample_time Value

@@ -1,0 +1,1 @@
+lib/statechart/chart_block.mli: Block Param

@@ -1,0 +1,1 @@
+lib/stdblocks/continuous_blocks.ml: Array Block Dtype Param Sample_time Value

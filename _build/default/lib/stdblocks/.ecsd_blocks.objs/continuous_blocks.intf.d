@@ -1,0 +1,1 @@
+lib/stdblocks/continuous_blocks.mli: Block

@@ -1,0 +1,1 @@
+lib/stdblocks/discrete_blocks.ml: Array Block Dtype Float Param Pid Sample_time Stdlib Value Ztransfer

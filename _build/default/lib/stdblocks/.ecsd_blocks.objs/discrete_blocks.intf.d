@@ -1,0 +1,1 @@
+lib/stdblocks/discrete_blocks.mli: Block Pid Qformat

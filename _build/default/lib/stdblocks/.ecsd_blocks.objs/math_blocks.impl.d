@@ -1,0 +1,1 @@
+lib/stdblocks/math_blocks.ml: Array Block Dtype Float Param String Value

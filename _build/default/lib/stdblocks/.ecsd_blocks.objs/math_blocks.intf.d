@@ -1,0 +1,1 @@
+lib/stdblocks/math_blocks.mli: Block Dtype

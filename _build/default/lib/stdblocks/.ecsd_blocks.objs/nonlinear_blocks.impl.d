@@ -1,0 +1,1 @@
+lib/stdblocks/nonlinear_blocks.ml: Array Block Dtype Float Param Sample_time Value

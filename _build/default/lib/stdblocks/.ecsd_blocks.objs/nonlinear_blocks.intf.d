@@ -1,0 +1,1 @@
+lib/stdblocks/nonlinear_blocks.mli: Block

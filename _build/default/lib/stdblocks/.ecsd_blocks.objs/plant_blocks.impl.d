@@ -1,0 +1,1 @@
+lib/stdblocks/plant_blocks.ml: Array Block Dc_motor Dtype Encoder Load_profile Param Power_stage Sample_time Thermal Value

@@ -1,0 +1,1 @@
+lib/stdblocks/plant_blocks.mli: Block Dc_motor Encoder Load_profile Power_stage Thermal

@@ -1,0 +1,1 @@
+lib/stdblocks/routing_blocks.ml: Array Block Dtype Param Sample_time Value

@@ -1,0 +1,1 @@
+lib/stdblocks/routing_blocks.mli: Block Dtype

@@ -1,0 +1,1 @@
+lib/stdblocks/sources.ml: Array Block Dtype Float Int64 List Param Sample_time Value

@@ -1,0 +1,1 @@
+lib/stdblocks/sources.mli: Block Dtype

@@ -1,0 +1,1 @@
+lib/stdblocks/table_blocks.ml: Array Block Dtype Float Param Value

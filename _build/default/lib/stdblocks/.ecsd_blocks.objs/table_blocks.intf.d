@@ -1,0 +1,1 @@
+lib/stdblocks/table_blocks.mli: Block

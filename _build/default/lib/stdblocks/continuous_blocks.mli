@@ -1,0 +1,22 @@
+(** Continuous-time blocks, integrated by the engine's solver. *)
+
+val integrator : ?init:float -> ?k:float -> unit -> Block.spec
+(** [y' = k*u], one continuous state. *)
+
+val transfer_fcn : num:float array -> den:float array -> Block.spec
+(** Strictly proper (or biproper) continuous SISO transfer function given
+    by descending-power s-polynomials, realised in controllable canonical
+    form. @raise Invalid_argument when [num] is longer than [den]. *)
+
+val state_space :
+  a:float array array ->
+  b:float array ->
+  c:float array ->
+  ?d:float ->
+  unit ->
+  Block.spec
+(** Single-input single-output continuous state space
+    [x' = A x + B u; y = C x + D u]. *)
+
+val first_order : k:float -> tau:float -> Block.spec
+(** [k / (tau s + 1)], the canonical test plant. *)

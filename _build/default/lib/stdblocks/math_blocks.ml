@@ -1,0 +1,125 @@
+(* Numeric blocks evaluate in double and quantise to the block's resolved
+   output type, so range saturation of integer/fixed signals is honoured. *)
+
+let typed_out ctx x = Value.of_float ctx.Block.out_dtypes.(0) x
+
+let gain ?dtype k =
+  let out_types =
+    match dtype with
+    | Some dt -> [| Block.Fixed_type dt |]
+    | None -> [| Block.Same_as 0 |]
+  in
+  let params =
+    ("k", Param.Float k)
+    :: (match dtype with Some dt -> [ ("dtype", Param.Dtype dt) ] | None -> [])
+  in
+  Block.stateless ~kind:"Gain" ~params ~n_in:1 ~n_out:1 ~out_types
+    (fun ctx ins -> [| typed_out ctx (k *. Value.to_float ins.(0)) |])
+
+let sum signs =
+  let n = String.length signs in
+  if n = 0 then invalid_arg "Math_blocks.sum: empty signs";
+  String.iter
+    (fun c -> if c <> '+' && c <> '-' then invalid_arg "Math_blocks.sum: signs")
+    signs;
+  Block.stateless ~kind:"Sum"
+    ~params:[ ("signs", Param.String signs) ]
+    ~n_in:n ~n_out:1
+    (fun ctx ins ->
+      let acc = ref 0.0 in
+      String.iteri
+        (fun i c ->
+          let x = Value.to_float ins.(i) in
+          acc := if c = '+' then !acc +. x else !acc -. x)
+        signs;
+      [| typed_out ctx !acc |])
+
+let product n =
+  if n < 1 then invalid_arg "Math_blocks.product: n < 1";
+  Block.stateless ~kind:"Product"
+    ~params:[ ("n", Param.Int n) ]
+    ~n_in:n ~n_out:1
+    (fun ctx ins ->
+      let acc = Array.fold_left (fun a v -> a *. Value.to_float v) 1.0 ins in
+      [| typed_out ctx acc |])
+
+let divide =
+  Block.stateless ~kind:"Divide" ~n_in:2 ~n_out:1 (fun ctx ins ->
+      let a = Value.to_float ins.(0) and b = Value.to_float ins.(1) in
+      [| typed_out ctx (a /. b) |])
+
+let unary ~kind f =
+  Block.stateless ~kind ~n_in:1 ~n_out:1 (fun ctx ins ->
+      [| typed_out ctx (f (Value.to_float ins.(0))) |])
+
+let abs_block = unary ~kind:"Abs" Float.abs
+let neg = unary ~kind:"Neg" (fun x -> -.x)
+
+let binary ~kind f =
+  Block.stateless ~kind ~n_in:2 ~n_out:1 (fun ctx ins ->
+      [| typed_out ctx (f (Value.to_float ins.(0)) (Value.to_float ins.(1))) |])
+
+let min_block = binary ~kind:"Min" Float.min
+let max_block = binary ~kind:"Max" Float.max
+
+let cast dtype =
+  Block.stateless ~kind:"Cast"
+    ~params:[ ("dtype", Param.Dtype dtype) ]
+    ~n_in:1 ~n_out:1
+    ~out_types:[| Block.Fixed_type dtype |]
+    (fun _ctx ins -> [| Value.cast dtype ins.(0) |])
+
+let compare op =
+  let name, f =
+    match op with
+    | `Lt -> ("lt", ( < ))
+    | `Le -> ("le", ( <= ))
+    | `Gt -> ("gt", ( > ))
+    | `Ge -> ("ge", ( >= ))
+    | `Eq -> ("eq", fun (a : float) b -> a = b)
+    | `Ne -> ("ne", fun (a : float) b -> a <> b)
+  in
+  Block.stateless ~kind:"Compare"
+    ~params:[ ("op", Param.String name) ]
+    ~n_in:2 ~n_out:1
+    ~out_types:[| Block.Fixed_type Dtype.Bool |]
+    (fun _ctx ins ->
+      [| Value.of_bool (f (Value.to_float ins.(0)) (Value.to_float ins.(1))) |])
+
+let logic op =
+  let name, n_in =
+    match op with
+    | `And -> ("and", 2)
+    | `Or -> ("or", 2)
+    | `Xor -> ("xor", 2)
+    | `Not -> ("not", 1)
+  in
+  Block.stateless ~kind:"Logic"
+    ~params:[ ("op", Param.String name) ]
+    ~n_in ~n_out:1
+    ~out_types:[| Block.Fixed_type Dtype.Bool |]
+    (fun _ctx ins ->
+      let a = Value.to_bool ins.(0) in
+      let r =
+        match op with
+        | `Not -> not a
+        | `And -> a && Value.to_bool ins.(1)
+        | `Or -> a || Value.to_bool ins.(1)
+        | `Xor -> a <> Value.to_bool ins.(1)
+      in
+      [| Value.of_bool r |])
+
+let math_fn op =
+  let name, f =
+    match op with
+    | `Sin -> ("sin", sin)
+    | `Cos -> ("cos", cos)
+    | `Exp -> ("exp", exp)
+    | `Sqrt -> ("sqrt", sqrt)
+    | `Log -> ("log", log)
+  in
+  Block.stateless ~kind:"MathFn"
+    ~params:[ ("fn", Param.String name) ]
+    ~n_in:1 ~n_out:1
+    ~out_types:[| Block.Fixed_type Dtype.Double |]
+    (fun _ctx ins -> [| Value.F (f (Value.to_float ins.(0))) |])

@@ -1,0 +1,38 @@
+(** Arithmetic, relational and logic blocks.
+
+    Numeric blocks compute in double precision and quantise the result to
+    the block's output type (saturating), so integer- and fixed-typed
+    diagrams see the target's range limits. Bit-exact fixed-point
+    controller arithmetic is provided by the dedicated
+    {!Discrete_blocks.fix_pid} block. *)
+
+val gain : ?dtype:Dtype.t -> float -> Block.spec
+(** Multiply by a constant; output type follows the input unless [dtype]
+    forces it. *)
+
+val sum : string -> Block.spec
+(** [sum "+-"] builds an n-input add/subtract block, one sign per input.
+    @raise Invalid_argument on characters other than '+'/'-'. *)
+
+val product : int -> Block.spec
+(** n-input multiplier, n >= 1. *)
+
+val divide : Block.spec
+(** Two inputs, [in0 / in1]; division by zero saturates to the output
+    type's extremum (IEEE inf on float types). *)
+
+val abs_block : Block.spec
+val neg : Block.spec
+val min_block : Block.spec
+val max_block : Block.spec
+val cast : Dtype.t -> Block.spec
+(** Data Type Conversion block. *)
+
+val compare : [ `Lt | `Le | `Gt | `Ge | `Eq | `Ne ] -> Block.spec
+(** Two-input relational operator, boolean output. *)
+
+val logic : [ `And | `Or | `Xor | `Not ] -> Block.spec
+(** Boolean logic; [`Not] takes one input, the others two. *)
+
+val math_fn : [ `Sin | `Cos | `Exp | `Sqrt | `Log ] -> Block.spec
+(** Elementary function block (double output). *)

@@ -1,0 +1,29 @@
+(** Discontinuous / nonlinear blocks. *)
+
+val saturation : lo:float -> hi:float -> Block.spec
+(** Clamp to [lo, hi]. @raise Invalid_argument when [lo > hi]. *)
+
+val quantizer : interval:float -> Block.spec
+(** Round to the nearest multiple of [interval]. *)
+
+val dead_zone : lo:float -> hi:float -> Block.spec
+(** Output zero inside the zone; outside, offset by the nearest edge. *)
+
+val relay :
+  ?on_point:float -> ?off_point:float -> on_value:float -> off_value:float ->
+  unit -> Block.spec
+(** Hysteresis relay: switches on above [on_point], off below
+    [off_point]. *)
+
+val switch : threshold:float -> Block.spec
+(** Three inputs [(in0, control, in1)]: output is [in0] when
+    [control >= threshold], else [in1]. *)
+
+val sign_block : Block.spec
+(** -1 / 0 / +1. *)
+
+val coulomb_friction : level:float -> Block.spec
+(** [y = u + level*sign(u)] static friction compensation block. *)
+
+val backlash : width:float -> Block.spec
+(** Mechanical backlash (play) of total [width]. *)

@@ -1,0 +1,18 @@
+(** Boundary and routing blocks for hierarchical composition. *)
+
+val inport : ?dtype:Dtype.t -> int -> Block.spec
+(** [inport k] is boundary input [k] of a sub-model; {!Model.inline}
+    replaces it by the parent-side source. When the sub-model is compiled
+    standalone (code generation of the controller alone), it behaves as an
+    external-input placeholder emitting zero of [dtype] (default
+    [Double]). *)
+
+val outport : int -> Block.spec
+(** [outport k] marks boundary output [k] of a sub-model. *)
+
+val terminator : Block.spec
+(** Swallows an unused signal (every input must be wired). *)
+
+val merge2 : Block.spec
+(** Two-input merge passing the most recently updated value — combines
+    the outputs of mutually exclusive function-call branches. *)

@@ -1,0 +1,46 @@
+let validate xs ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Table_blocks: xs/ys length mismatch";
+  if Array.length xs < 2 then invalid_arg "Table_blocks: need >= 2 breakpoints";
+  for i = 1 to Array.length xs - 1 do
+    if xs.(i) <= xs.(i - 1) then
+      invalid_arg "Table_blocks: xs must be strictly increasing"
+  done
+
+let interp xs ys x =
+  let n = Array.length xs in
+  if x <= xs.(0) then ys.(0)
+  else if x >= xs.(n - 1) then ys.(n - 1)
+  else begin
+    (* binary search for the bracketing segment *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    let x0 = xs.(!lo) and x1 = xs.(!hi) in
+    ys.(!lo) +. ((ys.(!hi) -. ys.(!lo)) *. (x -. x0) /. (x1 -. x0))
+  end
+
+let lookup1d ~xs ~ys =
+  validate xs ys;
+  Block.stateless ~kind:"Lookup1D"
+    ~params:[ ("xs", Param.Floats xs); ("ys", Param.Floats ys) ]
+    ~n_in:1 ~n_out:1
+    ~out_types:[| Block.Fixed_type Dtype.Double |]
+    (fun _ctx ins -> [| Value.F (interp xs ys (Value.to_float ins.(0))) |])
+
+let lookup1d_nearest ~xs ~ys =
+  validate xs ys;
+  Block.stateless ~kind:"Lookup1DNearest"
+    ~params:[ ("xs", Param.Floats xs); ("ys", Param.Floats ys) ]
+    ~n_in:1 ~n_out:1
+    ~out_types:[| Block.Fixed_type Dtype.Double |]
+    (fun _ctx ins ->
+      let x = Value.to_float ins.(0) in
+      let best = ref 0 in
+      Array.iteri
+        (fun i xi ->
+          if Float.abs (xi -. x) < Float.abs (xs.(!best) -. x) then best := i)
+        xs;
+      [| Value.F ys.(!best) |])

@@ -1,0 +1,14 @@
+(** Lookup-table blocks. *)
+
+val lookup1d : xs:float array -> ys:float array -> Block.spec
+(** Piecewise-linear interpolation through breakpoints [xs] (strictly
+    increasing) with end clamping — the calibration-map block of
+    automotive applications. @raise Invalid_argument on length mismatch or
+    non-monotone [xs]. *)
+
+val lookup1d_nearest : xs:float array -> ys:float array -> Block.spec
+(** Nearest-breakpoint (staircase) variant. *)
+
+val interp : float array -> float array -> float -> float
+(** The interpolation kernel itself, exposed for tests and for the code
+    generator's constant folding. *)

@@ -1,0 +1,1 @@
+test/test_autosar.ml: Alcotest Astring_contains Autosar_blocks Autosar_code Bean Bean_project C_ast C_print Compile Lazy List Mcu_db Pil_cosim Pil_target Servo_system Sim Target

@@ -1,0 +1,1 @@
+test/test_comm.ml: Alcotest Crc16 Framer List Packet QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Array Dc_motor Float Freqresp List Metrics Pid Qformat Stability Tuning Ztransfer

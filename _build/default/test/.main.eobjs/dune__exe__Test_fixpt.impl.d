@@ -1,0 +1,1 @@
+test/test_fixpt.ml: Alcotest Fixed Float List QCheck2 QCheck_alcotest Qformat Stdlib

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Astring_contains C_print Compile List Servo_system String Target

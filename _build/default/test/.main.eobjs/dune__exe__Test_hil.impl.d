@@ -1,0 +1,1 @@
+test/test_hil.ml: Alcotest Compile Dc_motor Encoder Float Hil_cosim List Load_profile Option Servo_system Sim Stats Target

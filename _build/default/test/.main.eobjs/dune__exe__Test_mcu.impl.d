@@ -1,0 +1,1 @@
+test/test_mcu.ml: Adc_periph Alcotest Compile Cost_model Dtype Float Gpio_periph List Machine Math_blocks Mcu_db Pwm_periph Qdec_periph Sci_periph Servo_system Target Timer_periph Wdog_periph

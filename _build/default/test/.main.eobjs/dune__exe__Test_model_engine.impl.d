@@ -1,0 +1,1 @@
+test/test_model_engine.ml: Alcotest Array Astring_contains Block Compile Continuous_blocks Discrete_blocks Dtype List Math_blocks Model Pid Routing_blocks Sample_time Sim Sources Tuning Value

@@ -1,0 +1,1 @@
+test/test_ode.ml: Alcotest Array Float List Ode QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pil.ml: Alcotest Astring_contains Compile Float List Option Pil_cosim Pil_target Servo_system Sim Stats Target

@@ -1,0 +1,1 @@
+test/test_plant.ml: Alcotest Dc_motor Encoder Float List Load_profile Power_stage QCheck2 QCheck_alcotest Thermal

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Ascii_plot Astring_contains Filename List Stats String Sys Table Trace_export

@@ -1,0 +1,1 @@
+test/test_rta.ml: Alcotest Astring_contains Float List Machine Mcu_db Printf Rta Timer_periph

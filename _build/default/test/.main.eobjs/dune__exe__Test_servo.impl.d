@@ -1,0 +1,1 @@
+test/test_servo.ml: Alcotest Astring_contains Compile Dc_motor Float Inspector List Load_profile Metrics Model Servo_system Sim Value

@@ -1,0 +1,1 @@
+test/test_sim_target.ml: Alcotest Astring_contains C_print Compile Continuous_blocks Filename Float Fun List Model Pil_target Printf Routing_blocks Servo_system Sim Sim_target Sys Target Unix Value

@@ -1,0 +1,1 @@
+test/test_statechart.ml: Alcotest Astring_contains Chart Chart_block Compile Float List Model Servo_system Sim Sources

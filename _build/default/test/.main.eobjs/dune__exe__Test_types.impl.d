@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Dtype QCheck2 QCheck_alcotest Qformat Value

@@ -1,0 +1,1 @@
+test/test_workspace.ml: Alcotest Astring_contains Bean Bean_project Compile List Math_blocks Mcu_db Model Pe_workspace Sim Sources Target Value

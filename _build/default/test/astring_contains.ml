@@ -1,0 +1,11 @@
+(* Tiny substring helper for test assertions on error messages. *)
+let contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  if ln = 0 then true
+  else begin
+    let found = ref false in
+    for i = 0 to lh - ln do
+      if (not !found) && String.sub haystack i ln = needle then found := true
+    done;
+    !found
+  end

@@ -1,0 +1,28 @@
+let () =
+  Alcotest.run "ecsd"
+    [
+      ("fixpt", Test_fixpt.suite);
+      ("types", Test_types.suite);
+      ("ode", Test_ode.suite);
+      ("plant", Test_plant.suite);
+      ("control", Test_control.suite);
+      ("model-engine", Test_model_engine.suite);
+      ("blocks", Test_blocks.suite);
+      ("statechart", Test_statechart.suite);
+      ("mcu", Test_mcu.suite);
+      ("beans", Test_beans.suite);
+      ("comm", Test_comm.suite);
+      ("peert", Test_peert.suite);
+      ("pil", Test_pil.suite);
+      ("servo", Test_servo.suite);
+      ("report", Test_report.suite);
+      ("timing", Test_timing.suite);
+      ("autosar", Test_autosar.suite);
+      ("hil", Test_hil.suite);
+      ("workspace", Test_workspace.suite);
+      ("fuzz", Test_model_fuzz.suite);
+      ("sim-target", Test_sim_target.suite);
+      ("rta", Test_rta.suite);
+      ("golden", Test_golden.suite);
+      ("misc", Test_misc.suite);
+    ]

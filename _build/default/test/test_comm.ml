@@ -1,0 +1,152 @@
+(* PIL link: CRC, packet framing, receive state machine. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_crc_known_vector () =
+  (* CRC-16/CCITT-FALSE of "123456789" is 0x29B1 *)
+  check_int "check value" 0x29B1 (Crc16.of_string "123456789")
+
+let test_crc_sensitivity () =
+  let a = Crc16.of_bytes [ 1; 2; 3 ] and b = Crc16.of_bytes [ 1; 2; 4 ] in
+  check_bool "differs on single bit" true (a <> b);
+  let c = Crc16.of_bytes [ 2; 1; 3 ] in
+  check_bool "order sensitive" true (a <> c)
+
+let roundtrip pkt =
+  let got = ref None in
+  let f = Framer.create ~on_packet:(fun p -> got := Some p) in
+  Framer.feed_all f (Packet.encode pkt);
+  !got
+
+let test_packet_roundtrip () =
+  let pkt = { Packet.ptype = Packet.ptype_sensor; seq = 7; payload = [ 1; 2; 250 ] } in
+  match roundtrip pkt with
+  | Some p ->
+      check_int "type" pkt.Packet.ptype p.Packet.ptype;
+      check_int "seq" pkt.Packet.seq p.Packet.seq;
+      Alcotest.(check (list int)) "payload" pkt.Packet.payload p.Packet.payload
+  | None -> Alcotest.fail "no packet decoded"
+
+let test_stuffing_roundtrip () =
+  (* payload containing both the flag and the escape byte *)
+  let pkt =
+    { Packet.ptype = Packet.ptype_actuator; seq = 0x7E;
+      payload = [ 0x7E; 0x7D; 0x00; 0x7E ] }
+  in
+  let wire = Packet.encode pkt in
+  (* no unescaped flags after the first byte *)
+  check_bool "no inner SOF" true
+    (not (List.exists (fun b -> b = Packet.sof) (List.tl wire)));
+  match roundtrip pkt with
+  | Some p -> Alcotest.(check (list int)) "payload" pkt.Packet.payload p.Packet.payload
+  | None -> Alcotest.fail "no packet decoded"
+
+let test_corruption_detected () =
+  let pkt = { Packet.ptype = 1; seq = 1; payload = [ 10; 20; 30 ] } in
+  let wire = Packet.encode pkt in
+  (* flip a payload bit *)
+  let corrupted = List.mapi (fun i b -> if i = 5 then b lxor 0x40 else b) wire in
+  let got = ref None in
+  let f = Framer.create ~on_packet:(fun p -> got := Some p) in
+  Framer.feed_all f corrupted;
+  check_bool "dropped" true (!got = None);
+  check_int "crc error counted" 1 (Framer.crc_errors f)
+
+let test_resync_after_garbage () =
+  let pkt = { Packet.ptype = 2; seq = 9; payload = [ 5 ] } in
+  let got = ref 0 in
+  let f = Framer.create ~on_packet:(fun _ -> incr got) in
+  Framer.feed_all f [ 0x12; 0x34; 0x56 ];
+  Framer.feed_all f (Packet.encode pkt);
+  check_int "recovered" 1 !got;
+  check_int "garbage counted" 3 (Framer.dropped_bytes f)
+
+let test_back_to_back_packets () =
+  let p1 = { Packet.ptype = 1; seq = 1; payload = [ 1; 2 ] } in
+  let p2 = { Packet.ptype = 2; seq = 2; payload = [ 3; 4 ] } in
+  let got = ref [] in
+  let f = Framer.create ~on_packet:(fun p -> got := p :: !got) in
+  Framer.feed_all f (Packet.encode p1 @ Packet.encode p2);
+  check_int "both decoded" 2 (List.length !got);
+  check_int "ok counter" 2 (Framer.packets_ok f)
+
+let test_truncated_frame_resync () =
+  let p1 = { Packet.ptype = 1; seq = 1; payload = [ 1; 2; 3; 4 ] } in
+  let wire = Packet.encode p1 in
+  let truncated = List.filteri (fun i _ -> i < List.length wire - 3) wire in
+  let got = ref 0 in
+  let f = Framer.create ~on_packet:(fun _ -> incr got) in
+  Framer.feed_all f truncated;
+  (* a fresh complete frame right after must still decode *)
+  Framer.feed_all f (Packet.encode p1);
+  check_int "recovered after truncation" 1 !got
+
+let test_payload_helpers () =
+  let acc = Packet.push_u16 0x1234 (Packet.push_u8 0xAB []) in
+  let payload = Packet.finish_payload acc in
+  Alcotest.(check (list int)) "layout" [ 0xAB; 0x12; 0x34 ] payload;
+  let v8, rest = Packet.take_u8 payload in
+  check_int "u8" 0xAB v8;
+  let v16, rest = Packet.take_u16 rest in
+  check_int "u16" 0x1234 v16;
+  check_bool "consumed" true (rest = []);
+  check_int "signed" (-1) (Packet.u16_to_signed 0xFFFF);
+  check_int "unsigned" 0xFFFF (Packet.signed_to_u16 (-1))
+
+let test_encode_validation () =
+  (match Packet.encode { Packet.ptype = 1; seq = 0; payload = [ 300 ] } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "byte range unchecked");
+  match
+    Packet.encode { Packet.ptype = 1; seq = 0; payload = List.init 300 (fun _ -> 0) }
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "payload length unchecked"
+
+let test_wire_length () =
+  let pkt = { Packet.ptype = 1; seq = 0; payload = [ 1; 2; 3; 4 ] } in
+  (* SOF + type + seq + len + 4 payload + 2 crc = 10 when nothing stuffs *)
+  check_bool "at least raw size" true (Packet.wire_length pkt >= 10)
+
+let gen_packet =
+  QCheck2.Gen.(
+    let* ptype = int_range 0 255 in
+    let* seq = int_range 0 255 in
+    let* payload = list_size (int_range 0 64) (int_range 0 255) in
+    return { Packet.ptype; seq; payload })
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"encode/decode roundtrip for arbitrary packets"
+    ~count:300 gen_packet (fun pkt ->
+      match roundtrip pkt with
+      | Some p ->
+          p.Packet.ptype = pkt.Packet.ptype
+          && p.Packet.seq = pkt.Packet.seq
+          && p.Packet.payload = pkt.Packet.payload
+      | None -> false)
+
+let prop_byte_at_a_time =
+  QCheck2.Test.make ~name:"framer is incremental (byte-at-a-time = batch)"
+    ~count:100 gen_packet (fun pkt ->
+      let got = ref None in
+      let f = Framer.create ~on_packet:(fun p -> got := Some p) in
+      List.iter (fun b -> Framer.feed f b) (Packet.encode pkt);
+      !got = Some pkt)
+
+let suite =
+  [
+    Alcotest.test_case "crc known vector" `Quick test_crc_known_vector;
+    Alcotest.test_case "crc sensitivity" `Quick test_crc_sensitivity;
+    Alcotest.test_case "packet roundtrip" `Quick test_packet_roundtrip;
+    Alcotest.test_case "stuffing" `Quick test_stuffing_roundtrip;
+    Alcotest.test_case "corruption detected" `Quick test_corruption_detected;
+    Alcotest.test_case "resync after garbage" `Quick test_resync_after_garbage;
+    Alcotest.test_case "back-to-back" `Quick test_back_to_back_packets;
+    Alcotest.test_case "truncated resync" `Quick test_truncated_frame_resync;
+    Alcotest.test_case "payload helpers" `Quick test_payload_helpers;
+    Alcotest.test_case "encode validation" `Quick test_encode_validation;
+    Alcotest.test_case "wire length" `Quick test_wire_length;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_byte_at_a_time;
+  ]

@@ -1,0 +1,96 @@
+(* Golden structural test of the generated servo application: the
+   interface of the generated code (struct layouts and entry points) is a
+   contract; unintended churn here would break hand-written integration
+   code downstream. Float formatting and statement bodies are left out on
+   purpose — behaviour is covered by the gcc execution tests. *)
+
+let signature_lines text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l ->
+         let l = String.trim l in
+         String.length l > 0
+         && (String.length l > 5 && String.sub l 0 5 = "void "
+            || (String.length l > 8 && String.sub l 0 8 = "typedef ")
+            || (String.length l > 2 && String.sub l 0 2 = "} ")
+            || (String.length l >= 2 && l.[String.length l - 1] = ';'
+                && String.contains l ' ' && not (String.contains l '=')
+                && not (String.contains l '('))))
+  |> List.map String.trim
+
+let expected_header =
+  [
+    "typedef struct {";
+    "double theta_in_o0;";
+    "double theta_smp_o0;";
+    "int32_t qd_o0;";
+    "double speed_o0;";
+    "double sp_o0;";
+    "double pid_o0;";
+    "double volt2duty_o0;";
+    "double duty_sat_o0;";
+    "double btn_in_o0;";
+    "uint8_t sw1_o0;";
+    "double mode_chart_o0;";
+    "double manual_duty_o0;";
+    "double mode_switch_o0;";
+    "double duty2ratio_o0;";
+    "uint16_t ratio_u16_o0;";
+    "double pwm_o0;";
+    "double duty_out_o0;";
+    "} servo_B_t;";
+    "typedef struct {";
+    "int32_t speed_prev;";
+    "double pid_integ;";
+    "double pid_e_prev;";
+    "double pid_d_prev;";
+    "uint8_t mode_chart_auto;";
+    "uint8_t mode_chart_prev;";
+    "} servo_DW_t;";
+    "typedef struct {";
+    "double in0;";
+    "double in1;";
+    "} servo_U_t;";
+    "typedef struct {";
+    "double out0;";
+    "} servo_Y_t;";
+    "void servo_initialize(void);";
+    "void servo_step(void);";
+  ]
+
+let test_header_interface_stable () =
+  let b = Servo_system.build () in
+  let comp = Compile.compile b.Servo_system.controller in
+  let a = Target.generate ~name:"servo" ~project:b.Servo_system.project comp in
+  let got = signature_lines (C_print.print_unit a.Target.model_h) in
+  Alcotest.(check (list string)) "servo.h interface" expected_header got
+
+let test_entry_points_stable () =
+  let b = Servo_system.build () in
+  let comp = Compile.compile b.Servo_system.controller in
+  let a = Target.generate ~name:"servo" ~project:b.Servo_system.project comp in
+  let c = C_print.print_unit a.Target.main_c in
+  List.iter
+    (fun sig_ ->
+      Alcotest.(check bool) ("has " ^ sig_) true (Astring_contains.contains c sig_))
+    [
+      "void TI1_OnInterrupt(void) {";
+      "static void background_task(void) {";
+      "int main(void) {";
+    ]
+
+let test_determinism () =
+  (* two generations of the same model must be byte-identical *)
+  let gen () =
+    let b = Servo_system.build () in
+    let comp = Compile.compile b.Servo_system.controller in
+    let a = Target.generate ~name:"servo" ~project:b.Servo_system.project comp in
+    C_print.print_unit a.Target.model_c
+  in
+  Alcotest.(check bool) "deterministic codegen" true (gen () = gen ())
+
+let suite =
+  [
+    Alcotest.test_case "header interface golden" `Quick test_header_interface_stable;
+    Alcotest.test_case "entry points" `Quick test_entry_points_stable;
+    Alcotest.test_case "deterministic" `Quick test_determinism;
+  ]

@@ -1,0 +1,380 @@
+(* Virtual MCU: discrete-event machine, interrupt dispatch, peripherals. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float eps = Alcotest.(check (float eps))
+
+let mk () = Machine.create Mcu_db.mc56f8367
+
+let job ?(stack = 16) name cycles action =
+  { Machine.jname = name; cycles; action; stack_bytes = stack }
+
+let test_schedule_order () =
+  let m = mk () in
+  let log = ref [] in
+  Machine.schedule m ~after:100 (fun () -> log := "b" :: !log);
+  Machine.schedule m ~after:50 (fun () -> log := "a" :: !log);
+  Machine.schedule m ~after:150 (fun () -> log := "c" :: !log);
+  Machine.advance m ~cycles:200;
+  Alcotest.(check (list string)) "event order" [ "a"; "b"; "c" ] (List.rev !log);
+  check_int "time advanced" 200 (Machine.now_cycles m)
+
+let test_simultaneous_events_fifo () =
+  let m = mk () in
+  let log = ref [] in
+  Machine.schedule m ~after:10 (fun () -> log := 1 :: !log);
+  Machine.schedule m ~after:10 (fun () -> log := 2 :: !log);
+  Machine.advance m ~cycles:20;
+  Alcotest.(check (list int)) "fifo at same cycle" [ 1; 2 ] (List.rev !log)
+
+let test_irq_dispatch_and_latency () =
+  let m = mk () in
+  let done_at = ref 0 in
+  let irq =
+    Machine.register_irq m ~name:"t" ~prio:1 ~handler:(fun () ->
+        job "work" 100 (fun () -> done_at := Machine.now_cycles m))
+  in
+  Machine.schedule m ~after:50 (fun () -> Machine.raise_irq m irq);
+  Machine.advance m ~cycles:1000;
+  let t = Machine.traits m in
+  check_int "completion includes entry+exit latency"
+    (50 + t.Mcu_db.irq_latency_cycles + 100 + t.Mcu_db.irq_exit_cycles)
+    !done_at;
+  let stats = Machine.stats_of m irq in
+  check_int "one dispatch" 1 stats.Machine.dispatches;
+  check_float 1e-9 "zero response delay when idle" 0.0
+    (List.hd stats.Machine.response_cycles)
+
+let test_priority_order () =
+  let m = mk () in
+  let log = ref [] in
+  let lo =
+    Machine.register_irq m ~name:"lo" ~prio:5 ~handler:(fun () ->
+        job "lo" 10 (fun () -> log := "lo" :: !log))
+  in
+  let hi =
+    Machine.register_irq m ~name:"hi" ~prio:1 ~handler:(fun () ->
+        job "hi" 10 (fun () -> log := "hi" :: !log))
+  in
+  (* raise both while the CPU is busy with a long job *)
+  let blocker =
+    Machine.register_irq m ~name:"blk" ~prio:9 ~handler:(fun () ->
+        job "blk" 500 (fun () -> log := "blk" :: !log))
+  in
+  Machine.schedule m ~after:1 (fun () -> Machine.raise_irq m blocker);
+  Machine.schedule m ~after:10 (fun () ->
+      Machine.raise_irq m lo;
+      Machine.raise_irq m hi);
+  Machine.advance m ~cycles:2000;
+  Alcotest.(check (list string)) "priority after blocker" [ "blk"; "hi"; "lo" ]
+    (List.rev !log)
+
+let test_nonpreemptive_blocks_high_prio () =
+  let m = Machine.create ~preemptive:false Mcu_db.mc56f8367 in
+  let hi_start = ref 0 in
+  let blocker =
+    Machine.register_irq m ~name:"blk" ~prio:9 ~handler:(fun () ->
+        job "blk" 1000 (fun () -> ()))
+  in
+  let hi =
+    Machine.register_irq m ~name:"hi" ~prio:1 ~handler:(fun () ->
+        job "hi" 10 (fun () -> hi_start := Machine.now_cycles m))
+  in
+  Machine.schedule m ~after:0 (fun () -> Machine.raise_irq m blocker);
+  Machine.schedule m ~after:100 (fun () -> Machine.raise_irq m hi);
+  Machine.advance m ~cycles:3000;
+  let stats = Machine.stats_of m hi in
+  (* the high-priority ISR had to wait for the blocker to finish *)
+  check_bool "blocked > 800 cycles" true (List.hd stats.Machine.response_cycles > 800.0)
+
+let test_preemptive_interrupts_low_prio () =
+  let m = Machine.create ~preemptive:true Mcu_db.mc56f8367 in
+  let order = ref [] in
+  let blocker =
+    Machine.register_irq m ~name:"blk" ~prio:9 ~handler:(fun () ->
+        job "blk" 1000 (fun () -> order := "blk" :: !order))
+  in
+  let hi =
+    Machine.register_irq m ~name:"hi" ~prio:1 ~handler:(fun () ->
+        job "hi" 10 (fun () -> order := "hi" :: !order))
+  in
+  Machine.schedule m ~after:0 (fun () -> Machine.raise_irq m blocker);
+  Machine.schedule m ~after:100 (fun () -> Machine.raise_irq m hi);
+  Machine.advance m ~cycles:3000;
+  Alcotest.(check (list string)) "high finishes first" [ "hi"; "blk" ]
+    (List.rev !order);
+  let stats = Machine.stats_of m hi in
+  check_bool "response is just the latency" true
+    (List.hd stats.Machine.response_cycles < 5.0)
+
+let test_overrun_counted () =
+  let m = mk () in
+  let irq =
+    Machine.register_irq m ~name:"x" ~prio:1 ~handler:(fun () -> job "x" 10 (fun () -> ()))
+  in
+  (* raise twice without giving the CPU a chance to dispatch *)
+  Machine.schedule m ~after:5 (fun () ->
+      Machine.raise_irq m irq;
+      Machine.raise_irq m irq);
+  Machine.advance m ~cycles:100;
+  check_int "overrun" 1 (Machine.stats_of m irq).Machine.overruns
+
+let test_utilization_and_stack () =
+  let m = mk () in
+  let irq =
+    Machine.register_irq m ~name:"x" ~prio:1 ~handler:(fun () ->
+        job ~stack:100 "x" 480 (fun () -> ()))
+  in
+  Machine.schedule m ~after:0 (fun () -> Machine.raise_irq m irq);
+  Machine.advance m ~cycles:1000;
+  check_bool "utilization ~50%" true
+    (Machine.utilization m > 0.45 && Machine.utilization m < 0.55);
+  check_int "stack watermark" (64 + 100) (Machine.max_stack_bytes m)
+
+let test_disabled_irq_not_dispatched () =
+  let m = mk () in
+  let ran = ref false in
+  let irq =
+    Machine.register_irq m ~name:"x" ~prio:1 ~handler:(fun () ->
+        job "x" 10 (fun () -> ran := true))
+  in
+  Machine.set_irq_enabled m irq false;
+  Machine.schedule m ~after:5 (fun () -> Machine.raise_irq m irq);
+  Machine.advance m ~cycles:100;
+  check_bool "not run while disabled" false !ran;
+  (* enabling later releases the pending interrupt *)
+  Machine.set_irq_enabled m irq true;
+  Machine.advance m ~cycles:100;
+  check_bool "runs after enable" true !ran
+
+(* ---------- peripherals ---------- *)
+
+let test_timer_periph () =
+  let m = mk () in
+  let t = Timer_periph.create m ~channel:0 in
+  Timer_periph.configure t ~prescaler:4 ~modulo:1500;
+  check_int "period cycles" 6000 (Timer_periph.period_cycles t);
+  check_float 1e-12 "period seconds" 1e-4 (Timer_periph.period_seconds t);
+  let ticks = ref 0 in
+  Timer_periph.on_overflow t (fun () -> incr ticks);
+  Timer_periph.start t;
+  Machine.advance m ~cycles:60000;
+  check_int "10 ticks in 1 ms" 10 !ticks;
+  Timer_periph.stop t;
+  Machine.advance m ~cycles:60000;
+  check_int "no ticks when stopped" 10 !ticks
+
+let test_timer_validation () =
+  let m = mk () in
+  let t = Timer_periph.create m ~channel:0 in
+  (match Timer_periph.configure t ~prescaler:3 ~modulo:100 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad prescaler accepted");
+  match Timer_periph.configure t ~prescaler:1 ~modulo:100000 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "oversized modulo accepted"
+
+let test_adc_conversion () =
+  let m = mk () in
+  let adc = Adc_periph.create m ~resolution:12 () in
+  Adc_periph.connect_input adc ~channel:2 (fun () -> 1.65);
+  let eoc = ref 0 in
+  Adc_periph.on_end_of_conversion adc (fun () -> incr eoc);
+  Adc_periph.start_conversion adc ~channel:2;
+  check_bool "busy during conversion" true (Adc_periph.busy adc);
+  Machine.advance m ~cycles:200;
+  check_int "eoc fired" 1 !eoc;
+  check_bool "not busy after" false (Adc_periph.busy adc);
+  (* 1.65 V of 3.3 V full scale at 12 bits = mid code *)
+  check_int "mid code" 2048 (Adc_periph.read_raw adc);
+  check_int "channel" 2 (Adc_periph.read_channel adc)
+
+let test_adc_quantization_clamp () =
+  let m = mk () in
+  let adc = Adc_periph.create m ~resolution:12 () in
+  check_int "over range clamps" 4095 (Adc_periph.quantize adc 5.0);
+  check_int "under range clamps" 0 (Adc_periph.quantize adc (-1.0));
+  check_float 1e-9 "code to volts roundtrip" 3.3 (Adc_periph.code_to_volts adc 4095)
+
+let test_adc_busy_drop () =
+  let m = mk () in
+  let adc = Adc_periph.create m ~resolution:12 () in
+  Adc_periph.start_conversion adc ~channel:0;
+  Adc_periph.start_conversion adc ~channel:1;
+  check_int "second start dropped" 1 (Adc_periph.dropped_starts adc);
+  ignore m
+
+let test_adc_resolution_validation () =
+  let m = mk () in
+  match Adc_periph.create m ~resolution:10 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "56F8367 has no 10-bit mode"
+
+let test_pwm () =
+  let m = mk () in
+  let pwm = Pwm_periph.create m ~channel:0 () in
+  Pwm_periph.set_frequency pwm ~hz:20000.0;
+  check_int "period counts at 60 MHz" 3000 (Pwm_periph.period_counts pwm);
+  Pwm_periph.set_ratio16 pwm 32768;
+  check_float 1e-3 "half duty" 0.5 (Pwm_periph.duty_ratio pwm);
+  Pwm_periph.set_ratio16 pwm 70000;
+  check_float 1e-9 "ratio clamped" 1.0 (Pwm_periph.duty_ratio pwm);
+  check_int "resolution bits" 11 (Pwm_periph.resolution_bits pwm)
+
+let test_pwm_validation () =
+  let m = mk () in
+  let pwm = Pwm_periph.create m ~channel:0 () in
+  match Pwm_periph.set_frequency pwm ~hz:100.0 with
+  | exception Invalid_argument _ -> () (* 600000 counts > 15-bit counter *)
+  | _ -> Alcotest.fail "unattainable PWM frequency accepted"
+
+let test_qdec_wrap_diff () =
+  let m = mk () in
+  let qd = Qdec_periph.create m () in
+  Qdec_periph.set_true_count qd 65530;
+  let prev = Qdec_periph.read_position qd in
+  Qdec_periph.set_true_count qd 65540;
+  check_int "wrapped register" (65540 land 0xFFFF) (Qdec_periph.read_position qd);
+  check_int "wrap-aware diff" 10 (Qdec_periph.diff qd ~prev);
+  Qdec_periph.set_true_count qd 65500;
+  check_int "negative diff" (-30) (Qdec_periph.diff qd ~prev)
+
+let test_qdec_requires_hardware () =
+  let m = Machine.create Mcu_db.mc9s12dp256 in
+  match Qdec_periph.create m () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "HCS12 has no decoder"
+
+let test_gpio () =
+  let m = mk () in
+  let g = Gpio_periph.create m in
+  let pin_in = List.hd Mcu_db.mc56f8367.Mcu_db.pins in
+  let pin_out = List.nth Mcu_db.mc56f8367.Mcu_db.pins 1 in
+  Gpio_periph.configure g ~pin:pin_in Gpio_periph.Input;
+  Gpio_periph.configure g ~pin:pin_out Gpio_periph.Output;
+  let level = ref false in
+  Gpio_periph.connect_input g ~pin:pin_in (fun () -> !level);
+  check_bool "reads low" false (Gpio_periph.read g ~pin:pin_in);
+  level := true;
+  check_bool "reads high" true (Gpio_periph.read g ~pin:pin_in);
+  let changes = ref 0 in
+  Gpio_periph.on_change g ~pin:pin_out (fun _ -> incr changes);
+  Gpio_periph.write g ~pin:pin_out true;
+  Gpio_periph.write g ~pin:pin_out true;
+  check_int "change fires once" 1 !changes;
+  (match Gpio_periph.write g ~pin:pin_in true with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "write to input accepted");
+  match Gpio_periph.configure g ~pin:pin_in Gpio_periph.Input with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "double claim accepted"
+
+let test_sci_timing () =
+  let m = mk () in
+  let sci = Sci_periph.create m ~baud:115200 () in
+  (* 10 bits at 115200 baud on a 60 MHz clock *)
+  check_int "byte cycles" (int_of_float (Float.round (10.0 /. 115200.0 *. 60e6)))
+    (Sci_periph.byte_cycles sci);
+  let sent = ref [] in
+  Sci_periph.on_tx_byte sci (fun b -> sent := b :: !sent);
+  ignore (Sci_periph.send_byte sci 0x41);
+  ignore (Sci_periph.send_byte sci 0x42);
+  check_bool "busy while shifting" true (Sci_periph.tx_busy sci);
+  Machine.advance m ~cycles:(3 * Sci_periph.byte_cycles sci);
+  Alcotest.(check (list int)) "bytes on the wire" [ 0x41; 0x42 ] (List.rev !sent);
+  check_bool "idle after" false (Sci_periph.tx_busy sci)
+
+let test_sci_rx_and_overrun () =
+  let m = mk () in
+  let sci = Sci_periph.create m ~baud:115200 () in
+  let got = ref [] in
+  Sci_periph.on_rx sci (fun b -> got := b :: !got);
+  Sci_periph.deliver_byte sci 0x10;
+  Machine.advance m ~cycles:(2 * Sci_periph.byte_cycles sci);
+  Alcotest.(check (list int)) "received" [ 0x10 ] !got;
+  check_int "read data" 0x10 (Sci_periph.read_data sci);
+  (* two deliveries without reading in between -> overrun *)
+  Sci_periph.deliver_byte sci 0x20;
+  Machine.advance m ~cycles:(2 * Sci_periph.byte_cycles sci);
+  Sci_periph.deliver_byte sci 0x30;
+  Machine.advance m ~cycles:(2 * Sci_periph.byte_cycles sci);
+  check_int "overrun counted" 1 (Sci_periph.rx_overruns sci)
+
+let test_sci_fifo_overflow () =
+  let m = mk () in
+  let sci = Sci_periph.create m ~fifo_depth:2 ~baud:9600 () in
+  ignore (Sci_periph.send_bytes sci [ 1; 2; 3; 4 ]);
+  check_bool "lost bytes counted" true (Sci_periph.tx_lost sci >= 1);
+  ignore m
+
+let test_mcu_db_entries () =
+  check_int "five parts" 5 (List.length Mcu_db.all);
+  check_bool "find case-insensitive" true (Mcu_db.find "mpc5554" <> None);
+  check_bool "unknown part" true (Mcu_db.find "AT91SAM7" = None);
+  (* the PowerPC part has an FPU: the cost model must make doubles cheap *)
+  let gain = Math_blocks.gain 2.0 in
+  let ppc = Cost_model.cycles_of_block Mcu_db.mpc5554 gain Dtype.Double in
+  let dsc = Cost_model.cycles_of_block Mcu_db.mc56f8367 gain Dtype.Double in
+  check_bool "FPU double much cheaper" true (dsc > 5 * ppc)
+
+let test_small_sibling_fits_servo () =
+  (* the MC56F8323 still runs the full case study and fits its 8 KiB RAM *)
+  let cfg = { Servo_system.default_config with Servo_system.mcu = Mcu_db.mc56f8323 } in
+  let b = Servo_system.build ~config:cfg () in
+  let comp = Compile.compile b.Servo_system.controller in
+  let a = Target.generate ~name:"servo" ~project:b.Servo_system.project comp in
+  check_bool "fits RAM" true
+    (a.Target.report.Target.est_ram_bytes < Mcu_db.mc56f8323.Mcu_db.ram_bytes);
+  check_bool "no warnings" true (a.Target.report.Target.warnings = [])
+
+let test_watchdog () =
+  let m = mk () in
+  let wd = Wdog_periph.create m ~timeout:1e-3 () in
+  let resets = ref 0 in
+  Wdog_periph.on_bite wd (fun () -> incr resets);
+  Wdog_periph.enable wd;
+  (* refreshed in time: no bite *)
+  for _ = 1 to 5 do
+    Machine.advance m ~cycles:(Wdog_periph.timeout_cycles wd / 2);
+    Wdog_periph.refresh wd
+  done;
+  check_int "no bites while serviced" 0 (Wdog_periph.bites wd);
+  (* starve it: bites accumulate and it re-arms *)
+  Machine.advance m ~cycles:(3 * Wdog_periph.timeout_cycles wd);
+  check_bool "bites when starved" true (Wdog_periph.bites wd >= 2);
+  check_int "callback fired" (Wdog_periph.bites wd) !resets;
+  (* disabled: silent *)
+  Wdog_periph.disable wd;
+  let before = Wdog_periph.bites wd in
+  Machine.advance m ~cycles:(3 * Wdog_periph.timeout_cycles wd);
+  check_int "quiet when disabled" before (Wdog_periph.bites wd)
+
+let suite =
+  [
+    Alcotest.test_case "watchdog" `Quick test_watchdog;
+    Alcotest.test_case "mcu database" `Quick test_mcu_db_entries;
+    Alcotest.test_case "small sibling servo" `Quick test_small_sibling_fits_servo;
+    Alcotest.test_case "event order" `Quick test_schedule_order;
+    Alcotest.test_case "simultaneous fifo" `Quick test_simultaneous_events_fifo;
+    Alcotest.test_case "irq dispatch latency" `Quick test_irq_dispatch_and_latency;
+    Alcotest.test_case "priority order" `Quick test_priority_order;
+    Alcotest.test_case "non-preemptive blocking" `Quick test_nonpreemptive_blocks_high_prio;
+    Alcotest.test_case "preemption" `Quick test_preemptive_interrupts_low_prio;
+    Alcotest.test_case "overrun counted" `Quick test_overrun_counted;
+    Alcotest.test_case "utilization + stack" `Quick test_utilization_and_stack;
+    Alcotest.test_case "irq enable/disable" `Quick test_disabled_irq_not_dispatched;
+    Alcotest.test_case "timer periph" `Quick test_timer_periph;
+    Alcotest.test_case "timer validation" `Quick test_timer_validation;
+    Alcotest.test_case "adc conversion" `Quick test_adc_conversion;
+    Alcotest.test_case "adc quantization" `Quick test_adc_quantization_clamp;
+    Alcotest.test_case "adc busy drop" `Quick test_adc_busy_drop;
+    Alcotest.test_case "adc resolution check" `Quick test_adc_resolution_validation;
+    Alcotest.test_case "pwm" `Quick test_pwm;
+    Alcotest.test_case "pwm validation" `Quick test_pwm_validation;
+    Alcotest.test_case "qdec wrap" `Quick test_qdec_wrap_diff;
+    Alcotest.test_case "qdec hw check" `Quick test_qdec_requires_hardware;
+    Alcotest.test_case "gpio" `Quick test_gpio;
+    Alcotest.test_case "sci timing" `Quick test_sci_timing;
+    Alcotest.test_case "sci rx overrun" `Quick test_sci_rx_and_overrun;
+    Alcotest.test_case "sci fifo overflow" `Quick test_sci_fifo_overflow;
+  ]

@@ -1,0 +1,109 @@
+(* Gap-filling coverage: report warnings, schedule pretty-printing,
+   solver odds and ends. *)
+
+let check_bool = Alcotest.(check bool)
+let contains = Astring_contains.contains
+
+let test_ram_warning () =
+  (* a model whose state exceeds the MC56F8323's 8 KiB RAM must be
+     flagged by the footprint estimator *)
+  let p = Bean_project.create Mcu_db.mc56f8323 in
+  let m = Model.create "fat" in
+  let s = Model.add m (Sources.constant 1.0) in
+  let z = Model.add m (Discrete_blocks.zoh ~period:1e-3 ()) in
+  let d = Model.add m (Discrete_blocks.delay_n 2000) in
+  Model.connect m ~src:(s, 0) ~dst:(z, 0);
+  Model.connect m ~src:(z, 0) ~dst:(d, 0);
+  let a = Target.generate ~name:"fat" ~project:p (Compile.compile m) in
+  check_bool "state dominated by the delay line" true
+    (a.Target.report.Target.state_bytes > 15000);
+  check_bool "RAM warning raised" true
+    (List.exists (fun w -> contains w "RAM") a.Target.report.Target.warnings)
+
+let test_pp_schedule () =
+  let b = Servo_system.build () in
+  let comp = Compile.compile b.Servo_system.closed_loop in
+  let s = Format.asprintf "%a" Compile.pp_schedule comp in
+  check_bool "lists blocks" true (contains s "plant/motor");
+  check_bool "shows rates" true (contains s "discrete(0.001");
+  check_bool "shows continuous" true (contains s "continuous")
+
+let test_solve_timer_frequency () =
+  match Expert.solve_timer_frequency Mcu_db.mc56f8367 ~hz:1000.0 with
+  | Ok sol ->
+      Alcotest.(check (float 1e-12)) "1 kHz" 1e-3 sol.Expert.achieved_period
+  | Error e -> Alcotest.fail e
+
+let test_inspector_warning_display () =
+  let p = Bean_project.create Mcu_db.mc56f8367 in
+  (* 115200 baud has a small but nonzero divisor error on 60 MHz *)
+  let b = Bean_project.add p (Bean.make ~name:"AS1" (Bean.Serial { port = None; baud = 115200 })) in
+  let s = Inspector.render_bean b in
+  check_bool "shows computed divisor" true (contains s "Divisor");
+  check_bool "warning line present" true
+    (b.Bean.warnings = [] || contains s "WARNING")
+
+let test_free_cntr_inspector () =
+  let p = Bean_project.create Mcu_db.mc56f8367 in
+  let b = Bean_project.add p (Bean.make ~name:"FC1" (Bean.Free_cntr { tick = 1e-5 })) in
+  let s = Inspector.render_bean b in
+  check_bool "tick shown" true (contains s "Tick");
+  check_bool "get method" true (contains s "FC1_GetCounterValue")
+
+let test_machine_busy_flag () =
+  let m = Machine.create Mcu_db.mc56f8367 in
+  let irq =
+    Machine.register_irq m ~name:"x" ~prio:1 ~handler:(fun () ->
+        { Machine.jname = "x"; cycles = 1000; action = (fun () -> ());
+          stack_bytes = 8 })
+  in
+  check_bool "idle initially" false (Machine.busy m);
+  Machine.raise_irq m irq;
+  Machine.advance m ~cycles:100;
+  check_bool "busy mid-job" true (Machine.busy m);
+  Machine.advance m ~cycles:2000;
+  check_bool "idle after" false (Machine.busy m)
+
+let test_param_introspection () =
+  let spec = Math_blocks.gain ~dtype:Dtype.Int16 2.5 in
+  Alcotest.(check (float 1e-12)) "float param" 2.5 (Param.float spec.Block.params "k");
+  check_bool "dtype param" true
+    (Dtype.equal (Param.dtype spec.Block.params "dtype") Dtype.Int16);
+  check_bool "to_string renders" true
+    (contains (Param.to_string spec.Block.params) "k=2.5");
+  (match Param.int spec.Block.params "k" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "type clash accepted");
+  check_bool "opt miss" true (Param.float_opt spec.Block.params "nope" = None)
+
+let test_block_pp () =
+  let s = Format.asprintf "%a" Block.pp_spec (Math_blocks.sum "+-") in
+  check_bool "kind shown" true (contains s "Sum");
+  check_bool "ports shown" true (contains s "2->1")
+
+let test_packet_constants_distinct () =
+  let l = [ Packet.ptype_sensor; Packet.ptype_actuator; Packet.ptype_event;
+            Packet.ptype_sync ] in
+  Alcotest.(check int) "distinct" 4 (List.length (List.sort_uniq compare l))
+
+let test_sim_step_events_counter () =
+  let b = Servo_system.build () in
+  let comp = Compile.compile b.Servo_system.closed_loop in
+  let sim = Sim.create comp in
+  Sim.step sim;
+  (* the TimerInt bean fires its (unwired) interrupt every period *)
+  check_bool "events counted" true (Sim.step_events sim >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "RAM warning" `Quick test_ram_warning;
+    Alcotest.test_case "pp_schedule" `Quick test_pp_schedule;
+    Alcotest.test_case "solve by frequency" `Quick test_solve_timer_frequency;
+    Alcotest.test_case "inspector warning" `Quick test_inspector_warning_display;
+    Alcotest.test_case "free counter inspector" `Quick test_free_cntr_inspector;
+    Alcotest.test_case "machine busy flag" `Quick test_machine_busy_flag;
+    Alcotest.test_case "param introspection" `Quick test_param_introspection;
+    Alcotest.test_case "block pp" `Quick test_block_pp;
+    Alcotest.test_case "packet constants" `Quick test_packet_constants_distinct;
+    Alcotest.test_case "step events counter" `Quick test_sim_step_events_counter;
+  ]

@@ -1,0 +1,86 @@
+(* Solver correctness: convergence orders against closed-form solutions. *)
+
+let check_float eps = Alcotest.(check (float eps))
+
+(* dy/dt = -y, y(0) = 1 -> y(t) = exp(-t) *)
+let decay _t x = [| -.x.(0) |]
+
+let final_error m h =
+  let traj = Ode.integrate m decay ~t0:0.0 ~t1:1.0 ~h [| 1.0 |] in
+  match List.rev traj with
+  | (_, x) :: _ -> Float.abs (x.(0) -. exp (-1.0))
+  | [] -> assert false
+
+let test_euler_first_order () =
+  (* halving h should roughly halve the error (order 1) *)
+  let e1 = final_error Ode.Euler 0.01 and e2 = final_error Ode.Euler 0.005 in
+  let ratio = e1 /. e2 in
+  Alcotest.(check bool) "euler order ~1" true (ratio > 1.7 && ratio < 2.3)
+
+let test_heun_second_order () =
+  let e1 = final_error Ode.Heun 0.01 and e2 = final_error Ode.Heun 0.005 in
+  let ratio = e1 /. e2 in
+  Alcotest.(check bool) "heun order ~2" true (ratio > 3.4 && ratio < 4.6)
+
+let test_rk4_fourth_order () =
+  let e1 = final_error Ode.Rk4 0.02 and e2 = final_error Ode.Rk4 0.01 in
+  let ratio = e1 /. e2 in
+  Alcotest.(check bool) "rk4 order ~4" true (ratio > 12.0 && ratio < 20.0)
+
+let test_rk4_accuracy () =
+  check_float 1e-9 "rk4 exp(-1)" (exp (-1.0))
+    (match List.rev (Ode.integrate Ode.Rk4 decay ~t0:0.0 ~t1:1.0 ~h:1e-3 [| 1.0 |]) with
+    | (_, x) :: _ -> x.(0)
+    | [] -> assert false)
+
+let test_harmonic_oscillator_energy () =
+  (* x'' = -x: RK4 should conserve energy to high accuracy over 10 periods *)
+  let f _t x = [| x.(1); -.x.(0) |] in
+  let traj =
+    Ode.integrate Ode.Rk4 f ~t0:0.0 ~t1:(20.0 *. Float.pi) ~h:1e-3 [| 1.0; 0.0 |]
+  in
+  let _, x = List.nth traj (List.length traj - 1) in
+  let energy = (x.(0) ** 2.0) +. (x.(1) ** 2.0) in
+  check_float 1e-6 "energy conserved" 1.0 energy
+
+let test_rkf45_adaptive () =
+  let traj = Ode.rkf45 decay ~t0:0.0 ~t1:1.0 ~tol:1e-9 [| 1.0 |] in
+  (match List.rev traj with
+  | (_, x) :: _ -> check_float 1e-7 "rkf45 accurate" (exp (-1.0)) x.(0)
+  | [] -> Alcotest.fail "empty trajectory");
+  (* adaptivity: a loose tolerance should use far fewer steps *)
+  let loose = Ode.rkf45 decay ~t0:0.0 ~t1:1.0 ~tol:1e-3 [| 1.0 |] in
+  Alcotest.(check bool) "fewer steps at loose tol" true
+    (List.length loose < List.length traj)
+
+let test_integrate_endpoint () =
+  (* the final sample must land exactly on t1 even for non-divisible h *)
+  let traj = Ode.integrate Ode.Euler decay ~t0:0.0 ~t1:0.35 ~h:0.1 [| 1.0 |] in
+  let t_last, _ = List.nth traj (List.length traj - 1) in
+  check_float 1e-12 "endpoint" 0.35 t_last
+
+let test_bad_step_rejected () =
+  Alcotest.check_raises "h <= 0"
+    (Invalid_argument "Ode.integrate: h must be positive") (fun () ->
+      ignore (Ode.integrate Ode.Euler decay ~t0:0.0 ~t1:1.0 ~h:0.0 [| 1.0 |]))
+
+let prop_linear_system_matches_exact =
+  QCheck2.Test.make ~name:"rk4 matches exp decay for random rates" ~count:100
+    QCheck2.Gen.(float_range 0.1 5.0)
+    (fun a ->
+      let f _t x = [| -.a *. x.(0) |] in
+      let x = Ode.step Ode.Rk4 f 0.0 [| 1.0 |] 0.01 in
+      Float.abs (x.(0) -. exp (-.a *. 0.01)) < 1e-8)
+
+let suite =
+  [
+    Alcotest.test_case "euler order 1" `Quick test_euler_first_order;
+    Alcotest.test_case "heun order 2" `Quick test_heun_second_order;
+    Alcotest.test_case "rk4 order 4" `Quick test_rk4_fourth_order;
+    Alcotest.test_case "rk4 accuracy" `Quick test_rk4_accuracy;
+    Alcotest.test_case "oscillator energy" `Quick test_harmonic_oscillator_energy;
+    Alcotest.test_case "rkf45 adaptive" `Quick test_rkf45_adaptive;
+    Alcotest.test_case "endpoint exact" `Quick test_integrate_endpoint;
+    Alcotest.test_case "bad step rejected" `Quick test_bad_step_rejected;
+    QCheck_alcotest.to_alcotest prop_linear_system_matches_exact;
+  ]

@@ -1,0 +1,126 @@
+(* PIL co-simulation: the servo on the virtual MC56F8367 over RS-232. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let pil_cfg =
+  { Servo_system.default_config with Servo_system.control_period = 5e-3 }
+
+let run_pil ?(periods = 300) ?baud ?error_rate ?preemptive () =
+  let b = Servo_system.build ~config:pil_cfg () in
+  let comp = Compile.compile b.Servo_system.controller in
+  let a = Pil_target.generate ~name:"servo" ~project:b.Servo_system.project comp in
+  let controller = Sim.create comp in
+  let plant = Servo_system.pil_plant b in
+  let driver = Servo_system.pil_driver b in
+  ( b,
+    Pil_cosim.run ?baud ?error_rate ?preemptive ~mcu:pil_cfg.Servo_system.mcu
+      ~schedule:a.Target.schedule ~controller ~plant ~driver ~periods () )
+
+let test_pil_converges () =
+  let _, r = run_pil ~periods:300 () in
+  let speed = Servo_system.pil_speed_trace r.Pil_cosim.trace in
+  match List.rev speed with
+  | (_, w) :: _ ->
+      Alcotest.(check (float 5.0)) "tracks the final set-point" 150.0 w
+  | [] -> Alcotest.fail "no trace"
+
+let test_pil_vs_mil_deviation () =
+  (* the PIL trajectory must stay close to MIL: quantisation and the
+     one-period actuator latency bound the deviation *)
+  let b = Servo_system.build ~config:pil_cfg () in
+  let mil_speed, _ = Servo_system.mil_run b ~t_end:1.5 in
+  let _, r = run_pil ~periods:300 () in
+  let pil_speed = Servo_system.pil_speed_trace r.Pil_cosim.trace in
+  (* compare at matching times (PIL trace is per control period) *)
+  let mil_at t =
+    List.fold_left
+      (fun best (ti, w) ->
+        match best with
+        | Some (tb, _) when Float.abs (ti -. t) >= Float.abs (tb -. t) -> best
+        | _ -> Some (ti, w))
+      None mil_speed
+    |> Option.map snd
+  in
+  let max_dev =
+    List.fold_left
+      (fun acc (t, w) ->
+        match mil_at t with
+        | Some wm -> Float.max acc (Float.abs (w -. wm))
+        | None -> acc)
+      0.0
+      (* skip the first 50 ms transient where one-period shifts dominate *)
+      (List.filter (fun (t, _) -> t > 0.05) pil_speed)
+  in
+  check_bool "PIL within 12 rad/s of MIL" true (max_dev < 12.0)
+
+let test_pil_profile_contents () =
+  let _, r = run_pil ~periods:200 () in
+  let p = r.Pil_cosim.profile in
+  check_bool "exec time plausible" true
+    (p.Pil_cosim.controller_exec.Stats.mean > 1e-6
+     && p.Pil_cosim.controller_exec.Stats.mean < 1e-3);
+  check_bool "latency after comm" true
+    (p.Pil_cosim.response_latency.Stats.p50 > p.Pil_cosim.comm_time_per_period /. 2.0);
+  check_bool "latency within period" true
+    (p.Pil_cosim.response_latency.Stats.max < 5e-3);
+  check_int "no overruns" 0 p.Pil_cosim.overruns;
+  check_int "no crc errors" 0 p.Pil_cosim.crc_errors;
+  check_bool "stack watermark measured" true (p.Pil_cosim.max_stack_bytes > 96);
+  check_bool "cpu mostly idle" true (p.Pil_cosim.cpu_utilization < 0.2)
+
+let test_pil_baud_feasibility () =
+  (* at 9600 baud the two packets cannot fit into 5 ms *)
+  match run_pil ~baud:9600 () with
+  | exception Invalid_argument msg ->
+      check_bool "explains the minimum period" true
+        (Astring_contains.contains msg "minimum feasible period")
+  | _ -> Alcotest.fail "infeasible baud accepted"
+
+let test_pil_error_injection () =
+  let _, r = run_pil ~periods:300 ~error_rate:0.01 () in
+  let p = r.Pil_cosim.profile in
+  check_bool "crc errors observed" true (p.Pil_cosim.crc_errors > 0);
+  check_bool "corrupted periods overrun" true (p.Pil_cosim.overruns > 0);
+  (* the loop must survive: the motor still spins roughly at set-point *)
+  match List.rev (Servo_system.pil_speed_trace r.Pil_cosim.trace) with
+  | (_, w) :: _ -> check_bool "loop survives noise" true (Float.abs (w -. 150.0) < 20.0)
+  | [] -> Alcotest.fail "no trace"
+
+let test_pil_comm_accounting () =
+  let _, r = run_pil ~periods:50 () in
+  let p = r.Pil_cosim.profile in
+  (* 2 sensors (2B each) + 1 actuator: sensor pkt 6+4=10B, actuator 6+2=8B
+     before stuffing *)
+  check_bool "bytes per period >= raw size" true (p.Pil_cosim.comm_bytes_per_period >= 18);
+  Alcotest.(check (float 1e-9)) "comm time consistent"
+    (float_of_int p.Pil_cosim.comm_bytes_per_period *. 10.0 /. 115200.0)
+    p.Pil_cosim.comm_time_per_period
+
+let test_pil_fixed_point_variant () =
+  let cfg = { pil_cfg with Servo_system.variant = Servo_system.Fixed_pid } in
+  let b = Servo_system.build ~config:cfg () in
+  let comp = Compile.compile b.Servo_system.controller in
+  let a = Pil_target.generate ~name:"servofx" ~project:b.Servo_system.project comp in
+  let controller = Sim.create comp in
+  let plant = Servo_system.pil_plant b in
+  let driver = Servo_system.pil_driver b in
+  let r =
+    Pil_cosim.run ~mcu:cfg.Servo_system.mcu ~schedule:a.Target.schedule
+      ~controller ~plant ~driver ~periods:300 ()
+  in
+  match List.rev (Servo_system.pil_speed_trace r.Pil_cosim.trace) with
+  | (_, w) :: _ ->
+      Alcotest.(check (float 6.0)) "fixed-point PIL tracks" 150.0 w
+  | [] -> Alcotest.fail "no trace"
+
+let suite =
+  [
+    Alcotest.test_case "pil converges" `Quick test_pil_converges;
+    Alcotest.test_case "pil vs mil" `Quick test_pil_vs_mil_deviation;
+    Alcotest.test_case "profile contents" `Quick test_pil_profile_contents;
+    Alcotest.test_case "baud feasibility" `Quick test_pil_baud_feasibility;
+    Alcotest.test_case "error injection" `Quick test_pil_error_injection;
+    Alcotest.test_case "comm accounting" `Quick test_pil_comm_accounting;
+    Alcotest.test_case "fixed-point PIL" `Quick test_pil_fixed_point_variant;
+  ]

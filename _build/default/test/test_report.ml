@@ -1,0 +1,113 @@
+(* Reporting utilities: tables, statistics, plots. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float eps = Alcotest.(check (float eps))
+let contains = Astring_contains.contains
+
+let test_table_render () =
+  let t = Table.create ~title:"demo" [ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1.5" ];
+  Table.add_sep t;
+  Table.add_row t [ "beta"; "22.0" ];
+  let s = Table.render t in
+  check_bool "title" true (contains s "demo");
+  check_bool "header" true (contains s "name");
+  check_bool "rows" true (contains s "alpha" && contains s "22.0");
+  (* numeric column right-aligned: " 1.5" with leading spaces *)
+  check_bool "alignment" true (contains s "  1.5")
+
+let test_table_arity_check () =
+  let t = Table.create [ "a"; "b" ] in
+  match Table.add_row t [ "only one" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wrong arity accepted"
+
+let test_table_cells () =
+  check_bool "cell_f" true (Table.cell_f ~dec:2 3.14159 = "3.14");
+  check_bool "cell_pct" true (Table.cell_pct 0.123 = "12.3 %")
+
+let test_stats_summary () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  check_int "n" 5 s.Stats.n;
+  check_float 1e-12 "mean" 3.0 s.Stats.mean;
+  check_float 1e-12 "min" 1.0 s.Stats.min;
+  check_float 1e-12 "max" 5.0 s.Stats.max;
+  check_float 1e-12 "median" 3.0 s.Stats.p50;
+  check_float 1e-9 "stdev" (sqrt 2.5) s.Stats.stdev
+
+let test_percentile_interpolation () =
+  let a = [| 0.0; 10.0 |] in
+  check_float 1e-12 "p25" 2.5 (Stats.percentile a 0.25);
+  check_float 1e-12 "p100" 10.0 (Stats.percentile a 1.0)
+
+let test_jitter () =
+  check_float 1e-12 "peak to peak" 4.0 (Stats.jitter [ 1.0; 3.0; 5.0 ]);
+  check_float 1e-12 "empty" 0.0 (Stats.jitter [])
+
+let test_empty_stats_rejected () =
+  match Stats.summarize [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty sample accepted"
+
+let test_ascii_plot () =
+  let series =
+    [
+      { Ascii_plot.label = "sin";
+        points = List.init 50 (fun i -> (float_of_int i /. 10.0, sin (float_of_int i /. 10.0))) };
+      { Ascii_plot.label = "cos";
+        points = List.init 50 (fun i -> (float_of_int i /. 10.0, cos (float_of_int i /. 10.0))) };
+    ]
+  in
+  let s = Ascii_plot.plot ~title:"waves" series in
+  check_bool "title" true (contains s "waves");
+  check_bool "legend" true (contains s "sin" && contains s "cos");
+  check_bool "axis" true (contains s "+----");
+  check_bool "marks present" true (contains s "*" && contains s "+")
+
+let test_ascii_plot_degenerate () =
+  (* constant series must not divide by zero *)
+  let s =
+    Ascii_plot.plot [ { Ascii_plot.label = "flat"; points = [ (0.0, 1.0); (1.0, 1.0) ] } ]
+  in
+  check_bool "renders" true (String.length s > 0)
+
+let test_csv_export () =
+  let a = [ (0.0, 1.0); (0.1, 2.0) ] and b = [ (0.05, 9.0); (0.1, 8.0) ] in
+  let header, rows = Trace_export.align [ ("a", a); ("b", b) ] in
+  Alcotest.(check (list string)) "header" [ "a"; "b" ] header;
+  Alcotest.(check int) "union of stamps" 3 (List.length rows);
+  (* carry-forward semantics at t=0.05: a holds 1.0, b becomes 9.0 *)
+  (match List.nth rows 1 with
+  | t, [ va; vb ] ->
+      check_float 1e-12 "t" 0.05 t;
+      check_float 1e-12 "a held" 1.0 va;
+      check_float 1e-12 "b fresh" 9.0 vb
+  | _ -> Alcotest.fail "row shape");
+  let csv = Trace_export.csv_of_series ~header rows in
+  check_bool "csv header" true (contains csv "time,a,b");
+  check_bool "csv row" true (contains csv "0.1,2,8")
+
+let test_csv_write () =
+  let path = Filename.temp_file "ecsd" ".csv" in
+  Trace_export.write_csv ~path [ ("x", [ (0.0, 1.0) ]) ];
+  let ic = open_in path in
+  let line1 = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "header line" "time,x" line1
+
+let suite =
+  [
+    Alcotest.test_case "csv export" `Quick test_csv_export;
+    Alcotest.test_case "csv write" `Quick test_csv_write;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table arity" `Quick test_table_arity_check;
+    Alcotest.test_case "table cells" `Quick test_table_cells;
+    Alcotest.test_case "stats summary" `Quick test_stats_summary;
+    Alcotest.test_case "percentiles" `Quick test_percentile_interpolation;
+    Alcotest.test_case "jitter" `Quick test_jitter;
+    Alcotest.test_case "empty stats" `Quick test_empty_stats_rejected;
+    Alcotest.test_case "ascii plot" `Quick test_ascii_plot;
+    Alcotest.test_case "plot degenerate" `Quick test_ascii_plot_degenerate;
+  ]

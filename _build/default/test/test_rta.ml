@@ -1,0 +1,123 @@
+(* Response-time analysis, cross-validated against the virtual MCU. *)
+
+let check_bool = Alcotest.(check bool)
+let check_float eps = Alcotest.(check (float eps))
+
+let t name period wcet prio = { Rta.tname = name; period; wcet; prio }
+
+let test_utilization_and_bound () =
+  let tasks = [ t "a" 10.0 2.0 1; t "b" 20.0 4.0 2 ] in
+  check_float 1e-12 "utilization" 0.4 (Rta.utilization tasks);
+  check_float 1e-9 "LL bound n=2" (2.0 *. (sqrt 2.0 -. 1.0)) (Rta.rm_bound 2);
+  check_bool "bound decreasing" true (Rta.rm_bound 5 < Rta.rm_bound 2)
+
+let test_preemptive_textbook () =
+  (* C=(1,2,3), T=(4,8,16), rate-monotonic priorities:
+     R1 = 1; R2 = 3; R3 = 7 (window of 7 holds 2 jobs of t1 + 1 of t2) *)
+  let tasks = [ t "t1" 4.0 1.0 1; t "t2" 8.0 2.0 2; t "t3" 16.0 3.0 3 ] in
+  match Rta.preemptive tasks with
+  | [ v1; v2; v3 ] ->
+      check_float 1e-9 "R1" 1.0 v1.Rta.response;
+      check_float 1e-9 "R2" 3.0 v2.Rta.response;
+      check_float 1e-9 "R3" 7.0 v3.Rta.response;
+      check_bool "all schedulable" true
+        (v1.Rta.schedulable && v2.Rta.schedulable && v3.Rta.schedulable)
+  | _ -> Alcotest.fail "arity"
+
+let test_preemptive_overload_diverges () =
+  let tasks = [ t "a" 1.0 0.6 1; t "b" 1.0 0.6 2 ] in
+  match Rta.preemptive tasks with
+  | [ _; v ] ->
+      check_bool "unbounded response" true (v.Rta.response = infinity);
+      check_bool "unschedulable" false v.Rta.schedulable
+  | _ -> Alcotest.fail "arity"
+
+let test_non_preemptive_blocking () =
+  (* the highest-priority task suffers the longest lower-priority WCET *)
+  let tasks = [ t "hi" 10.0 1.0 1; t "lo" 100.0 5.0 2 ] in
+  (match Rta.preemptive tasks with
+  | [ v; _ ] -> check_float 1e-9 "preemptive: no blocking" 1.0 v.Rta.response
+  | _ -> Alcotest.fail "arity");
+  match Rta.non_preemptive tasks with
+  | [ v; _ ] -> check_float 1e-9 "non-preemptive: blocked" 6.0 v.Rta.response
+  | _ -> Alcotest.fail "arity"
+
+let test_analyze_messages () =
+  let bad = [ t "ctrl" 1.0 0.9 1; t "bg" 2.0 1.0 2 ] in
+  (match Rta.analyze ~preemptive:true bad with
+  | Error msg -> check_bool "names the task" true (Astring_contains.contains msg "bg")
+  | Ok _ -> Alcotest.fail "overload accepted");
+  match Rta.analyze ~preemptive:true [ t "a" 10.0 1.0 1 ] with
+  | Ok [ v ] -> check_bool "ok" true v.Rta.schedulable
+  | _ -> Alcotest.fail "single task"
+
+let test_validation () =
+  (match Rta.preemptive [ t "a" 1.0 0.1 1; t "b" 1.0 0.1 1 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate priorities accepted");
+  match Rta.preemptive [ t "a" 0.0 0.1 1 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero period accepted"
+
+(* The soundness check: the analytical worst case must dominate every
+   response the virtual MCU actually produces, in both policies. *)
+let observed_worst_response ~preemptive =
+  let mcu = Mcu_db.mc56f8367 in
+  let machine = Machine.create ~preemptive mcu in
+  let mk_task name prio cycles ch period_s =
+    let irq =
+      Machine.register_irq machine ~name ~prio ~handler:(fun () ->
+          { Machine.jname = name; cycles; action = (fun () -> ()); stack_bytes = 16 })
+    in
+    let timer = Timer_periph.create machine ~channel:ch in
+    (* pick prescaler 1 when it fits the 16-bit counter, else 16 *)
+    let cycles_p = Machine.cycles_of_time machine period_s in
+    let prescaler = if cycles_p <= 65536 then 1 else 16 in
+    Timer_periph.configure timer ~prescaler ~modulo:(cycles_p / prescaler);
+    Timer_periph.on_overflow timer (fun () -> Machine.raise_irq machine irq);
+    Timer_periph.start timer;
+    irq
+  in
+  (* ctrl: 1 ms period, 150 us wcet, high prio; bg: 0.7 ms, 250 us, low *)
+  let ctrl = mk_task "ctrl" 1 9000 0 1e-3 in
+  let _bg = mk_task "bg" 5 15000 1 0.7e-3 in
+  Machine.run_until_time machine 0.5;
+  let st = Machine.stats_of machine ctrl in
+  let f_cpu = mcu.Mcu_db.f_cpu_hz in
+  let lat = float_of_int mcu.Mcu_db.irq_latency_cycles /. f_cpu in
+  let exit_c = float_of_int mcu.Mcu_db.irq_exit_cycles /. f_cpu in
+  (* observed response = release delay + entry latency + execution + exit *)
+  List.fold_left
+    (fun acc r -> Float.max acc ((r /. f_cpu) +. lat +. (9000.0 /. f_cpu) +. exit_c))
+    0.0 st.Machine.response_cycles
+
+let test_rta_bounds_machine () =
+  let tasks = [ t "ctrl" 1e-3 (9020.0 /. 60e6) 1; t "bg" 0.7e-3 (15020.0 /. 60e6) 5 ] in
+  let bound_np =
+    match Rta.non_preemptive tasks with v :: _ -> v.Rta.response | [] -> nan
+  in
+  let bound_p =
+    match Rta.preemptive tasks with v :: _ -> v.Rta.response | [] -> nan
+  in
+  let obs_np = observed_worst_response ~preemptive:false in
+  let obs_p = observed_worst_response ~preemptive:true in
+  check_bool
+    (Printf.sprintf "non-preemptive bound sound (%.1f us >= %.1f us)"
+       (bound_np *. 1e6) (obs_np *. 1e6))
+    true (bound_np >= obs_np);
+  check_bool
+    (Printf.sprintf "preemptive bound sound (%.1f us >= %.1f us)"
+       (bound_p *. 1e6) (obs_p *. 1e6))
+    true (bound_p >= obs_p);
+  check_bool "preemption helps the high-priority task" true (bound_p < bound_np)
+
+let suite =
+  [
+    Alcotest.test_case "utilization + LL bound" `Quick test_utilization_and_bound;
+    Alcotest.test_case "preemptive textbook" `Quick test_preemptive_textbook;
+    Alcotest.test_case "overload diverges" `Quick test_preemptive_overload_diverges;
+    Alcotest.test_case "non-preemptive blocking" `Quick test_non_preemptive_blocking;
+    Alcotest.test_case "analyze messages" `Quick test_analyze_messages;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "RTA bounds the machine" `Quick test_rta_bounds_machine;
+  ]

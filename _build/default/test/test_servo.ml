@@ -1,0 +1,117 @@
+(* Case-study integration (the paper's section 7 demo, end to end). *)
+
+let check_bool = Alcotest.(check bool)
+
+let test_mil_tracks_schedule () =
+  let b = Servo_system.build () in
+  let speed, _ = Servo_system.mil_run b ~t_end:0.35 in
+  (match List.rev speed with
+  | (_, w) :: _ -> Alcotest.(check (float 2.0)) "first set-point" 50.0 w
+  | [] -> Alcotest.fail "no trace");
+  let w_end = Servo_system.mil_speed_at b ~t_end:1.1 in
+  Alcotest.(check (float 2.0)) "final set-point" 150.0 w_end
+
+let test_mil_rejects_load_step () =
+  let b = Servo_system.build () in
+  let speed, _ = Servo_system.mil_run b ~t_end:1.6 in
+  (* the 4 mN.m load step at 1.2 s must be rejected by the PI loop *)
+  let after_load = List.filter (fun (t, _) -> t > 1.5) speed in
+  let avg =
+    List.fold_left (fun a (_, w) -> a +. w) 0.0 after_load
+    /. float_of_int (List.length after_load)
+  in
+  Alcotest.(check (float 3.0)) "recovered from the load step" 150.0 avg;
+  (* and there must have been a visible dip right after the step *)
+  let dip =
+    List.fold_left
+      (fun acc (t, w) -> if t > 1.2 && t < 1.3 then Float.min acc w else acc)
+      infinity speed
+  in
+  check_bool "load dip visible" true (dip < 149.0)
+
+let test_step_metrics_reasonable () =
+  let cfg =
+    { Servo_system.default_config with
+      Servo_system.setpoints = [ (0.0, 100.0) ];
+      load = Load_profile.No_load }
+  in
+  let b = Servo_system.build ~config:cfg () in
+  let speed, _ = Servo_system.mil_run b ~t_end:0.4 in
+  let si = Metrics.step_info ~sp:100.0 speed in
+  check_bool "rise time in tens of ms" true
+    (si.Metrics.rise_time > 5e-3 && si.Metrics.rise_time < 0.1);
+  check_bool "overshoot small" true (si.Metrics.overshoot < 0.1);
+  check_bool "settles" true (Float.is_finite si.Metrics.settling_time);
+  check_bool "sse small" true (si.Metrics.steady_state_error < 1.0)
+
+let test_fixed_vs_float_close () =
+  let fl = Servo_system.build () in
+  let fx =
+    Servo_system.build
+      ~config:{ Servo_system.default_config with Servo_system.variant = Servo_system.Fixed_pid }
+      ()
+  in
+  let sp_fl, _ = Servo_system.mil_run fl ~t_end:1.0 in
+  let sp_fx, _ = Servo_system.mil_run fx ~t_end:1.0 in
+  let dev = Metrics.max_deviation sp_fl sp_fx in
+  check_bool "fixed within 5 rad/s of float" true (dev < 5.0);
+  check_bool "fixed not identical (quantisation visible)" true (dev > 1e-6)
+
+let test_duty_saturation_during_transient () =
+  let b = Servo_system.build () in
+  let _, duty = Servo_system.mil_run b ~t_end:1.1 in
+  check_bool "duty within [0,1]" true
+    (List.for_all (fun (_, d) -> d >= 0.0 && d <= 1.0) duty);
+  (* at the 150 rad/s plateau the PWM works at roughly a third of the
+     supply: w/k_v = 150/19.8 rad/s/V over 24 V *)
+  check_bool "plateau duty plausible" true
+    (List.exists (fun (_, d) -> d > 0.28) duty)
+
+let test_mode_switch_drops_to_manual () =
+  (* pressing the button switches to manual 30 % duty: speed diverges from
+     the set-point towards the open-loop speed for that duty *)
+  let cfg =
+    { Servo_system.default_config with
+      Servo_system.setpoints = [ (0.0, 100.0) ];
+      load = Load_profile.No_load }
+  in
+  let b = Servo_system.build ~config:cfg () in
+  (* rebuild the closed loop with a button press at t = 0.5 s *)
+  let m = b.Servo_system.closed_loop in
+  let sim = Sim.create (Compile.compile m) in
+  let btn = Model.find m "button" in
+  Sim.probe_named sim b.Servo_system.speed_block 0;
+  Sim.run sim ~until:0.5 ();
+  Sim.override_output sim (btn, 0) (Some (Value.F 1.0));
+  Sim.run sim ~until:1.2 ();
+  let speed = Sim.trace_named sim b.Servo_system.speed_block 0 in
+  let final = match List.rev speed with (_, w) :: _ -> w | [] -> nan in
+  let open_loop =
+    Dc_motor.steady_state_speed Dc_motor.default ~u:(0.3 *. 24.0) ~tau_load:0.0
+  in
+  Alcotest.(check (float 10.0)) "manual mode open-loop speed" open_loop final
+
+let test_without_mode_logic () =
+  let cfg = { Servo_system.default_config with Servo_system.with_mode_logic = false } in
+  let b = Servo_system.build ~config:cfg () in
+  let w = Servo_system.mil_speed_at b ~t_end:1.1 in
+  Alcotest.(check (float 2.0)) "tracks without chart" 150.0 w
+
+let test_project_inspector_case_study () =
+  let b = Servo_system.build () in
+  let s = Inspector.render_project b.Servo_system.project in
+  List.iter
+    (fun bean -> check_bool ("lists " ^ bean) true (Astring_contains.contains s bean))
+    [ "TI1"; "PWM1"; "QD1"; "SW1"; "AS1" ]
+
+let suite =
+  [
+    Alcotest.test_case "tracks set-point schedule" `Quick test_mil_tracks_schedule;
+    Alcotest.test_case "rejects load step" `Quick test_mil_rejects_load_step;
+    Alcotest.test_case "step metrics" `Quick test_step_metrics_reasonable;
+    Alcotest.test_case "fixed vs float" `Quick test_fixed_vs_float_close;
+    Alcotest.test_case "duty saturation" `Quick test_duty_saturation_during_transient;
+    Alcotest.test_case "mode switch" `Quick test_mode_switch_drops_to_manual;
+    Alcotest.test_case "no mode logic variant" `Quick test_without_mode_logic;
+    Alcotest.test_case "project inspector" `Quick test_project_inspector_case_study;
+  ]

@@ -1,0 +1,67 @@
+(* The E6 timing-robustness machinery. *)
+
+let check_bool = Alcotest.(check bool)
+
+let test_baseline_healthy () =
+  let o = Timing_study.run Timing_study.default in
+  check_bool "no divergence" false o.Timing_study.diverged;
+  check_bool "no oscillation" false o.Timing_study.sustained_oscillation;
+  (* converges to the set-point *)
+  match List.rev o.Timing_study.trajectory with
+  | (_, w) :: _ -> Alcotest.(check (float 3.0)) "tracks" 100.0 w
+  | [] -> Alcotest.fail "no trajectory"
+
+let test_latency_degrades_monotonically () =
+  let base = Timing_study.run Timing_study.default in
+  let costs =
+    List.map
+      (fun l ->
+        Timing_study.relative_cost ~baseline:base
+          (Timing_study.run { Timing_study.default with Timing_study.latency_frac = l }))
+      [ 0.0; 1.0; 2.0 ]
+  in
+  (match costs with
+  | [ c0; c1; c2 ] ->
+      check_bool "cost grows with latency" true (c0 < c1 && c1 < c2);
+      check_bool "two periods clearly worse" true (c2 > 2.0)
+  | _ -> Alcotest.fail "arity")
+
+let test_jitter_degrades () =
+  let base = Timing_study.run Timing_study.default in
+  let jit =
+    Timing_study.run { Timing_study.default with Timing_study.jitter_frac = 0.8 }
+  in
+  check_bool "jitter costs something" true
+    (Timing_study.relative_cost ~baseline:base jit > 1.02)
+
+let test_extreme_latency_destabilises () =
+  (* the paper: "may in extreme cases lead to the instability" *)
+  let o =
+    Timing_study.run { Timing_study.default with Timing_study.latency_frac = 8.0 }
+  in
+  check_bool "unstable at 8 periods of delay" true (Timing_study.unstable o)
+
+let test_sweep_shape () =
+  let rows =
+    Timing_study.degradation_sweep ~jitter_fracs:[ 0.0; 0.5 ]
+      ~latency_fracs:[ 0.0; 1.0; 2.0 ] ()
+  in
+  Alcotest.(check int) "grid size" 6 (List.length rows);
+  check_bool "row-major order" true
+    (match rows with (0.0, 0.0, _) :: (0.0, 1.0, _) :: _ -> true | _ -> false)
+
+let test_reproducible () =
+  let a = Timing_study.run { Timing_study.default with Timing_study.jitter_frac = 0.5 } in
+  let b = Timing_study.run { Timing_study.default with Timing_study.jitter_frac = 0.5 } in
+  check_bool "same seed, same trajectory" true
+    (a.Timing_study.trajectory = b.Timing_study.trajectory)
+
+let suite =
+  [
+    Alcotest.test_case "baseline healthy" `Quick test_baseline_healthy;
+    Alcotest.test_case "latency degrades" `Quick test_latency_degrades_monotonically;
+    Alcotest.test_case "jitter degrades" `Quick test_jitter_degrades;
+    Alcotest.test_case "extreme latency unstable" `Quick test_extreme_latency_destabilises;
+    Alcotest.test_case "sweep shape" `Quick test_sweep_shape;
+    Alcotest.test_case "reproducible" `Quick test_reproducible;
+  ]

@@ -1,0 +1,115 @@
+(* The PES_COM synchronisation layer: model <-> PE project consistency. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let contains = Astring_contains.contains
+
+let ws () = Pe_workspace.create ~name:"app" Mcu_db.mc56f8367
+
+let test_insertion_creates_bean () =
+  let w = ws () in
+  let blk = Pe_workspace.add_pwm w ~freq_hz:20e3 () in
+  (* auto name propagated to both views *)
+  Alcotest.(check string) "block name" "PWM1" (Model.block_name (Pe_workspace.model w) blk);
+  let bean = Bean_project.find (Pe_workspace.project w) "PWM1" in
+  check_bool "bean resolved" true (Bean.is_valid bean);
+  check_bool "linked" true (Pe_workspace.bean_of_block w blk = Some bean)
+
+let test_auto_numbering () =
+  let w = ws () in
+  let _ = Pe_workspace.add_timer_int w ~period:1e-3 () in
+  let b2 = Pe_workspace.add_timer_int w ~period:2e-3 () in
+  Alcotest.(check string) "second instance" "TI2"
+    (Model.block_name (Pe_workspace.model w) b2)
+
+let test_invalid_setting_rejected_atomically () =
+  let w = ws () in
+  (* 100 Hz PWM is unattainable: insertion must fail AND leave no bean *)
+  (match Pe_workspace.add_pwm w ~freq_hz:100.0 () with
+  | exception Invalid_argument msg ->
+      check_bool "diagnosis included" true (contains msg "15-bit counter")
+  | _ -> Alcotest.fail "invalid setting accepted");
+  check_int "no orphan bean" 0 (List.length (Bean_project.beans (Pe_workspace.project w)));
+  (* and the instance counter did not burn the name *)
+  let blk = Pe_workspace.add_pwm w ~freq_hz:20e3 () in
+  ignore blk;
+  check_bool "project clean" true
+    (Bean_project.verify (Pe_workspace.project w) = Ok ())
+
+let test_erasure_releases_resources () =
+  let w = ws () in
+  let qd = Pe_workspace.add_quad_decoder w ~lines_per_rev:100 () in
+  (* the single decoder unit is now claimed *)
+  (match Pe_workspace.add_quad_decoder w ~lines_per_rev:50 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "double decoder accepted");
+  Pe_workspace.remove w qd;
+  (* erasure propagated: the unit is free again *)
+  let qd2 = Pe_workspace.add_quad_decoder w ~lines_per_rev:50 () in
+  check_bool "re-claimed after erasure" true
+    (Pe_workspace.bean_of_block w qd2 <> None)
+
+let test_consistency_detects_orphans () =
+  let w = ws () in
+  let _ = Pe_workspace.add_timer_int w ~period:1e-3 () in
+  check_bool "consistent" true (Pe_workspace.check_consistency w = Ok ());
+  (* remove the block behind the workspace's back: orphaned bean *)
+  Model.remove_block (Pe_workspace.model w) (Model.find (Pe_workspace.model w) "TI1");
+  (match Pe_workspace.check_consistency w with
+  | Error [ msg ] -> check_bool "orphan reported" true (contains msg "orphaned")
+  | _ -> Alcotest.fail "expected one orphan issue")
+
+let test_consistency_detects_missing_bean () =
+  let w = ws () in
+  let _ = Pe_workspace.add_adc w ~resolution:12 ~sample_period:1e-3 () in
+  Bean_project.remove (Pe_workspace.project w) "AD1";
+  match Pe_workspace.check_consistency w with
+  | Error msgs ->
+      check_bool "missing bean reported" true
+        (List.exists (fun m -> contains m "missing bean") msgs)
+  | Ok () -> Alcotest.fail "missing bean not detected"
+
+let test_full_app_through_workspace () =
+  (* build a runnable mini-app entirely through the workspace, then wire
+     the signal chain and simulate *)
+  let w = ws () in
+  let _ti = Pe_workspace.add_timer_int w ~period:1e-3 () in
+  let adc = Pe_workspace.add_adc w ~resolution:12 ~sample_period:1e-3 () in
+  let pwm = Pe_workspace.add_pwm w ~freq_hz:20e3 () in
+  let m = Pe_workspace.model w in
+  let src = Model.add m ~name:"vin" (Sources.constant 1.65) in
+  let scale = Model.add m ~name:"scale" (Math_blocks.gain 16.0) in
+  Model.connect m ~src:(src, 0) ~dst:(adc, 0);
+  Model.connect m ~src:(adc, 0) ~dst:(scale, 0);
+  Model.connect m ~src:(scale, 0) ~dst:(pwm, 0);
+  check_bool "consistent" true (Pe_workspace.check_consistency w = Ok ());
+  let sim = Sim.create (Compile.compile m) in
+  Sim.step sim;
+  (* mid-scale input: code 2048, x16 = 32768 ratio16 -> ~0.5 duty *)
+  Alcotest.(check (float 0.01)) "duty" 0.5
+    (Value.to_float (Sim.value_named sim "PWM1" 0));
+  (* and it still generates code *)
+  let arts =
+    Target.generate ~name:"mini" ~project:(Pe_workspace.project w)
+      (Compile.compile m)
+  in
+  check_bool "codegen works" true (arts.Target.report.Target.app_loc > 40)
+
+let test_remove_plain_block () =
+  let w = ws () in
+  let m = Pe_workspace.model w in
+  let c = Model.add m (Sources.constant 1.0) in
+  Pe_workspace.remove w c;
+  check_int "model empty" 0 (List.length (Model.blocks m))
+
+let suite =
+  [
+    Alcotest.test_case "insertion creates bean" `Quick test_insertion_creates_bean;
+    Alcotest.test_case "auto numbering" `Quick test_auto_numbering;
+    Alcotest.test_case "invalid setting atomic" `Quick test_invalid_setting_rejected_atomically;
+    Alcotest.test_case "erasure releases resources" `Quick test_erasure_releases_resources;
+    Alcotest.test_case "orphan detection" `Quick test_consistency_detects_orphans;
+    Alcotest.test_case "missing bean detection" `Quick test_consistency_detects_missing_bean;
+    Alcotest.test_case "full app via workspace" `Quick test_full_app_through_workspace;
+    Alcotest.test_case "remove plain block" `Quick test_remove_plain_block;
+  ]
