@@ -6,7 +6,10 @@
    Usage:
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- e5 e6   -- selected experiments only
-*)
+     dune exec bench/main.exe -- --list  -- list experiment names
+
+   The perf experiment also writes BENCH_perf.json (see Bench_json);
+   ECSD_BENCH_STEPS / ECSD_BENCH_QUICK shrink it for CI smoke runs. *)
 
 let experiments =
   [
@@ -22,17 +25,23 @@ let experiments =
   ]
 
 let () =
-  let selected =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> List.map String.lowercase_ascii names
-    | _ -> List.map fst experiments
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.exists (fun a -> a = "--list" || a = "-l") args then begin
+    List.iter (fun (name, _) -> print_endline name) experiments;
+    exit 0
+  end;
+  let names = List.map String.lowercase_ascii args in
+  (* validate the whole selection before running anything, so a typo in
+     the last name does not waste the minutes spent on the first ones *)
+  let unknown =
+    List.filter (fun n -> not (List.mem_assoc n experiments)) names
   in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name experiments with
-      | Some run -> run ()
-      | None ->
-          Printf.eprintf "unknown experiment %S; available: %s\n" name
-            (String.concat " " (List.map fst experiments));
-          exit 1)
-    selected
+  if unknown <> [] then begin
+    Printf.eprintf "unknown experiment%s %s; available: %s (or --list)\n"
+      (if List.length unknown > 1 then "s" else "")
+      (String.concat ", " (List.map (Printf.sprintf "%S") unknown))
+      (String.concat " " (List.map fst experiments));
+    exit 1
+  end;
+  let selected = if names = [] then List.map fst experiments else names in
+  List.iter (fun name -> (List.assoc name experiments) ()) selected

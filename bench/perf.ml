@@ -76,6 +76,82 @@ let bench_pil =
            (Pil_cosim.run ~mcu:cfg.Servo_system.mcu ~schedule:arts.Target.schedule
               ~controller ~plant ~driver ~periods:100 ())))
 
+(* P7: sustained MIL throughput with probes on, measured wall-clock and
+   recorded — with the metrics layer — into BENCH_perf.json, the
+   machine-readable perf trajectory of the repo. ECSD_BENCH_STEPS
+   overrides the step count; ECSD_BENCH_QUICK=1 shrinks everything to a
+   CI smoke run. *)
+
+let quick () =
+  match Sys.getenv_opt "ECSD_BENCH_QUICK" with
+  | Some ("" | "0") | None -> false
+  | Some _ -> true
+
+let bench_steps () =
+  match Sys.getenv_opt "ECSD_BENCH_STEPS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> n
+      | _ -> invalid_arg "ECSD_BENCH_STEPS must be a positive integer")
+  | None -> if quick () then 20_000 else 200_000
+
+let bench_json () =
+  Obs.reset ();
+  Obs.set_enabled true;
+  let built = Servo_system.build () in
+  (* MIL throughput, every block output probed (the configuration the
+     probe-buffer hot path serves) *)
+  let comp = Compile.compile built.Servo_system.closed_loop in
+  let sim = Sim.create ~solver_substeps:3 comp in
+  List.iter
+    (fun b ->
+      let spec = Model.spec_of comp.Compile.model b in
+      for p = 0 to spec.Block.n_out - 1 do
+        Sim.probe sim (b, p)
+      done)
+    (Model.blocks comp.Compile.model);
+  let steps = bench_steps () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to steps do
+    Sim.step sim
+  done;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (* one PIL co-simulation to populate the response-latency histograms
+     and the comm counters *)
+  let cfg =
+    { Servo_system.default_config with Servo_system.control_period = 5e-3 }
+  in
+  let built_pil = Servo_system.build ~config:cfg () in
+  let comp_pil = Compile.compile built_pil.Servo_system.controller in
+  let arts =
+    Pil_target.generate ~name:"servo" ~project:built_pil.Servo_system.project
+      comp_pil
+  in
+  let controller = Sim.create comp_pil in
+  let plant = Servo_system.pil_plant built_pil in
+  let driver = Servo_system.pil_driver built_pil in
+  let periods = if quick () then 60 else 320 in
+  ignore
+    (Pil_cosim.run ~mcu:cfg.Servo_system.mcu ~schedule:arts.Target.schedule
+       ~controller ~plant ~driver ~periods ());
+  Obs.set_enabled false;
+  let snap = Obs.snapshot () in
+  let doc = Bench_json.bench ~name:"perf" ~steps ~wall_s snap in
+  let path = "BENCH_perf.json" in
+  Bench_json.write ~path doc;
+  (* read back through the parser: the file must stay machine-readable *)
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let parsed = Bench_json.parse text in
+  (match Bench_json.member "steps_per_s" parsed with
+  | Some (Bench_json.Float sps) ->
+      Printf.printf
+        "P7 MIL throughput (servo, all outputs probed): %.0f steps/s\n" sps
+  | _ -> failwith "BENCH_perf.json: missing steps_per_s");
+  Printf.printf "wrote %s (git %s)\n\n" path (Bench_json.git_rev ())
+
 let run () =
   print_endline "==================================================================";
   print_endline "P1-P6: environment performance (bechamel, ns per run)";
@@ -85,7 +161,11 @@ let run () =
       [ bench_mil; bench_machine; bench_codegen; bench_comm; bench_pid_float;
         bench_pid_fixed; bench_pil ]
   in
-  let cfg = Benchmark.cfg ~limit:1500 ~quota:(Time.second 0.4) ~kde:(Some 500) () in
+  let cfg =
+    Benchmark.cfg ~limit:1500
+      ~quota:(Time.second (if quick () then 0.05 else 0.4))
+      ~kde:(Some 500) ()
+  in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
@@ -109,4 +189,5 @@ let run () =
       | _ -> Table.add_row t [ name; "n/a"; "n/a" ])
     rows;
   Table.print ~align:[ Table.Left; Table.Right; Table.Right ] t;
-  print_newline ()
+  print_newline ();
+  bench_json ()

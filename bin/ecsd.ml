@@ -55,6 +55,48 @@ let build_or_fail cfg =
     Printf.eprintf "error: %s\n" msg;
     exit 2
 
+(* ---- observability flags, shared by the heavy sub-commands ---- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record tracing spans during the run and write them to $(docv) as \
+           Chrome-trace JSON (load in chrome://tracing or Perfetto).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Collect metrics during the run and print the counters, latency \
+           histograms and an ASCII span summary afterwards.")
+
+let with_obs trace metrics f =
+  let active = trace <> None || metrics in
+  if active then begin
+    Obs.reset ();
+    Obs.set_enabled true
+  end;
+  let code = f () in
+  if active then begin
+    Obs.set_enabled false;
+    (match trace with
+    | Some path ->
+        Obs.write_chrome_trace ~path;
+        Printf.printf "trace spans written to %s\n" path
+    | None -> ());
+    if metrics then begin
+      print_newline ();
+      print_string (Obs_report.metrics_table (Obs.snapshot ()));
+      print_newline ();
+      print_string (Obs_report.flame_summary (Obs.spans ()))
+    end
+  end;
+  code
+
 (* ---- inspect ---- *)
 
 let inspect mcu period fixed bean =
@@ -82,7 +124,8 @@ let inspect_cmd =
 
 (* ---- mil ---- *)
 
-let mil mcu period fixed t_end csv =
+let mil mcu period fixed t_end csv trace metrics =
+  with_obs trace metrics @@ fun () ->
   let built = build_or_fail (config mcu period fixed) in
   let speed, duty = Servo_system.mil_run built ~t_end in
   Ascii_plot.print ~title:"MIL: motor speed" ~x_label:"time [s]"
@@ -112,11 +155,14 @@ let mil_cmd =
   in
   Cmd.v
     (Cmd.info "mil" ~doc:"Model-in-the-loop closed-loop simulation (Fig 7.1)")
-    Term.(const mil $ mcu_arg $ period_arg $ fixed_arg $ t_end $ csv)
+    Term.(
+      const mil $ mcu_arg $ period_arg $ fixed_arg $ t_end $ csv $ trace_arg
+      $ metrics_arg)
 
 (* ---- codegen ---- *)
 
-let codegen mcu period fixed pil out_dir =
+let codegen mcu period fixed pil out_dir trace metrics =
+  with_obs trace metrics @@ fun () ->
   let built = build_or_fail (config mcu period fixed) in
   let comp = Compile.compile built.Servo_system.controller in
   let arts =
@@ -147,11 +193,14 @@ let codegen_cmd =
   in
   Cmd.v
     (Cmd.info "codegen" ~doc:"Generate the embedded application (PEERT, Fig 6.1)")
-    Term.(const codegen $ mcu_arg $ period_arg $ fixed_arg $ pil $ out)
+    Term.(
+      const codegen $ mcu_arg $ period_arg $ fixed_arg $ pil $ out $ trace_arg
+      $ metrics_arg)
 
 (* ---- pil ---- *)
 
-let pil mcu period fixed baud periods =
+let pil mcu period fixed baud periods trace metrics =
+  with_obs trace metrics @@ fun () ->
   let cfg = config mcu period fixed in
   let built = build_or_fail cfg in
   let comp = Compile.compile built.Servo_system.controller in
@@ -203,7 +252,7 @@ let pil_cmd =
     (Cmd.info "pil" ~doc:"Processor-in-the-loop co-simulation (Fig 6.2)")
     Term.(const pil $ mcu_arg $ Arg.(value & opt float 5e-3 & info [ "period" ]
             ~docv:"SECONDS" ~doc:"Control period (default 5 ms; RS-232 limits it).")
-          $ fixed_arg $ baud $ periods)
+          $ fixed_arg $ baud $ periods $ trace_arg $ metrics_arg)
 
 (* ---- analyze ---- *)
 

@@ -1,3 +1,9 @@
+(* link-level metrics, aggregated over every framer in the process *)
+let c_rx_bytes = Obs.counter "comm.rx_bytes"
+let c_frames_ok = Obs.counter "comm.frames_ok"
+let c_crc_errors = Obs.counter "comm.crc_errors"
+let c_dropped_bytes = Obs.counter "comm.dropped_bytes"
+
 type state = Hunting | In_frame | In_escape
 
 type t = {
@@ -40,9 +46,14 @@ let finish_frame t =
       (match crc_bytes with
       | [ hi; lo ] when ((hi lsl 8) lor lo) = expected ->
           t.ok <- t.ok + 1;
+          Obs.add c_frames_ok 1;
           t.on_packet { Packet.ptype; seq; payload }
-      | _ -> t.crc_errors <- t.crc_errors + 1)
-  | _ -> t.crc_errors <- t.crc_errors + 1
+      | _ ->
+          t.crc_errors <- t.crc_errors + 1;
+          Obs.add c_crc_errors 1)
+  | _ ->
+      t.crc_errors <- t.crc_errors + 1;
+      Obs.add c_crc_errors 1
 
 let accept t byte =
   t.buf <- byte :: t.buf;
@@ -56,17 +67,24 @@ let accept t byte =
 
 let feed t byte =
   let byte = byte land 0xFF in
+  Obs.add c_rx_bytes 1;
   match t.state with
   | Hunting ->
       if byte = Packet.sof then begin
         t.state <- In_frame;
         restart t
       end
-      else t.dropped <- t.dropped + 1
+      else begin
+        t.dropped <- t.dropped + 1;
+        Obs.add c_dropped_bytes 1
+      end
   | In_frame ->
       if byte = Packet.sof then begin
         (* unterminated frame: count it lost, resynchronise *)
-        if t.count > 0 then t.crc_errors <- t.crc_errors + 1;
+        if t.count > 0 then begin
+          t.crc_errors <- t.crc_errors + 1;
+          Obs.add c_crc_errors 1
+        end;
         t.state <- In_frame;
         restart t
       end

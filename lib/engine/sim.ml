@@ -1,3 +1,29 @@
+(* Growable probe storage: two parallel float arrays, doubling growth.
+   Replaces the original [(float * float) list ref] accumulation — no
+   per-sample boxing/consing on the hot path, and [trace] no longer
+   needs a List.rev. *)
+type probe_buf = {
+  mutable pb_t : float array;
+  mutable pb_v : float array;
+  mutable pb_len : int;
+}
+
+let probe_buf_create () =
+  { pb_t = Array.make 64 0.0; pb_v = Array.make 64 0.0; pb_len = 0 }
+
+let probe_buf_push pb t v =
+  let cap = Array.length pb.pb_t in
+  if pb.pb_len = cap then begin
+    let nt = Array.make (2 * cap) 0.0 and nv = Array.make (2 * cap) 0.0 in
+    Array.blit pb.pb_t 0 nt 0 cap;
+    Array.blit pb.pb_v 0 nv 0 cap;
+    pb.pb_t <- nt;
+    pb.pb_v <- nv
+  end;
+  pb.pb_t.(pb.pb_len) <- t;
+  pb.pb_v.(pb.pb_len) <- v;
+  pb.pb_len <- pb.pb_len + 1
+
 type t = {
   comp : Compile.t;
   behs : Block.beh array;
@@ -6,12 +32,22 @@ type t = {
   srcs : (Model.blk * int) array array;
   mutable now : float;
   mutable nstep : int;
-  probes : (int * int, (float * float) list ref) Hashtbl.t;
+  probes : (int * int, probe_buf) Hashtbl.t;
   mutable events_this_step : int;
   cstate_blocks : Model.blk array;  (* owners of continuous states, in order *)
   solver : Ode.method_;
   solver_substeps : int;
+  group_exec : Model.blk array array;
+      (* execution order per function-call group, indexed by
+         [Model.group_index] — replaces the List.assoc_opt lookup that
+         used to sit on every event dispatch *)
+  group_counters : Obs.counter array;  (* same indexing *)
 }
+
+(* process-wide engine metrics *)
+let c_steps = Obs.counter "sim.steps"
+let c_events = Obs.counter "sim.events"
+let h_substep = Obs.hist "sim.ode.substep_s"
 
 let bi = Model.blk_index
 
@@ -32,11 +68,11 @@ let write_outputs t b outs =
     outs
 
 let rec exec_group t g =
+  let gi = Model.group_index g in
   let order =
-    match List.assoc_opt g t.comp.Compile.group_order with
-    | Some o -> o
-    | None -> [||]
+    if gi < Array.length t.group_exec then t.group_exec.(gi) else [||]
   in
+  if gi < Array.length t.group_counters then Obs.add t.group_counters.(gi) 1;
   Array.iter
     (fun b ->
       let outs = t.behs.(bi b).Block.out ~minor:false ~time:t.now (gather t b) in
@@ -46,6 +82,7 @@ let rec exec_group t g =
 
 and fire_event t b k =
   t.events_this_step <- t.events_this_step + 1;
+  Obs.add c_events 1;
   match Model.event_target t.comp.Compile.model (b, k) with
   | Some g -> exec_group t g
   | None -> ()
@@ -95,6 +132,23 @@ let create ?(solver = Ode.Rk4) ?(solver_substeps = 1) comp =
       (List.filter (fun b -> behs.(bi b).Block.ncstates > 0)
          (Array.to_list comp.Compile.order))
   in
+  let n_groups =
+    List.fold_left
+      (fun acc g -> max acc (Model.group_index g + 1))
+      0 (Model.groups m)
+  in
+  let group_exec = Array.make n_groups [||] in
+  List.iter
+    (fun (g, order) -> group_exec.(Model.group_index g) <- order)
+    comp.Compile.group_order;
+  let group_counters =
+    Array.init n_groups (fun _ -> Obs.counter "sim.group.unused")
+  in
+  List.iter
+    (fun g ->
+      group_counters.(Model.group_index g) <-
+        Obs.counter ("sim.group." ^ Model.group_name m g))
+    (Model.groups m);
   let t =
     {
       comp;
@@ -109,6 +163,8 @@ let create ?(solver = Ode.Rk4) ?(solver_substeps = 1) comp =
       cstate_blocks;
       solver;
       solver_substeps;
+      group_exec;
+      group_counters;
     }
   in
   t_ref := Some t;
@@ -123,7 +179,7 @@ let reset t =
         t.signals.(bi b).(p) <- Value.zero t.comp.Compile.out_types.(bi b).(p)
       done)
     (Model.blocks t.comp.Compile.model);
-  Hashtbl.iter (fun _ r -> r := []) t.probes;
+  Hashtbl.iter (fun _ pb -> pb.pb_len <- 0) t.probes;
   t.now <- 0.0;
   t.nstep <- 0
 
@@ -133,7 +189,8 @@ let compiled t = t.comp
 
 let probe t (b, p) =
   let key = (bi b, p) in
-  if not (Hashtbl.mem t.probes key) then Hashtbl.replace t.probes key (ref [])
+  if not (Hashtbl.mem t.probes key) then
+    Hashtbl.replace t.probes key (probe_buf_create ())
 
 let probe_named t name p = probe t (Model.find t.comp.Compile.model name, p)
 
@@ -196,9 +253,16 @@ let integrate t =
     let n = t.solver_substeps in
     let h = t.comp.Compile.base_dt /. float_of_int n in
     let x = ref (pack ()) in
-    for i = 0 to n - 1 do
-      x := Ode.step t.solver f (t.now +. (float_of_int i *. h)) !x h
-    done;
+    if Obs.enabled () then
+      for i = 0 to n - 1 do
+        let t0 = Obs.now_ns () in
+        x := Ode.step t.solver f (t.now +. (float_of_int i *. h)) !x h;
+        Obs.record h_substep ((Obs.now_ns () -. t0) *. 1e-9)
+      done
+    else
+      for i = 0 to n - 1 do
+        x := Ode.step t.solver f (t.now +. (float_of_int i *. h)) !x h
+      done;
     unpack !x;
     (* leave the continuous signals consistent with the final state, not
        with the solver's last stage evaluation *)
@@ -207,10 +271,11 @@ let integrate t =
 
 let record_probes t =
   Hashtbl.iter
-    (fun (b, p) r -> r := (t.now, Value.to_float t.signals.(b).(p)) :: !r)
+    (fun (b, p) pb -> probe_buf_push pb t.now (Value.to_float t.signals.(b).(p)))
     t.probes
 
 let step t =
+  Obs.span_begin "sim.step";
   t.events_this_step <- 0;
   Array.iter
     (fun b ->
@@ -223,7 +288,10 @@ let step t =
   record_probes t;
   integrate t;
   t.now <- t.now +. t.comp.Compile.base_dt;
-  t.nstep <- t.nstep + 1
+  t.nstep <- t.nstep + 1;
+  Obs.add c_steps 1;
+  Obs.bump t.events_this_step;
+  Obs.span_end ()
 
 let run t ?(steps = max_int) ~until () =
   let n = ref 0 in
@@ -237,7 +305,7 @@ let value_named t name p = value t (Model.find t.comp.Compile.model name, p)
 
 let trace t (b, p) =
   match Hashtbl.find_opt t.probes (bi b, p) with
-  | Some r -> List.rev !r
+  | Some pb -> List.init pb.pb_len (fun i -> (pb.pb_t.(i), pb.pb_v.(i)))
   | None -> raise Not_found
 
 let trace_named t name p = trace t (Model.find t.comp.Compile.model name, p)

@@ -1,0 +1,294 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ---------- printing ---------- *)
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let float_str f =
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else
+    (* shortest representation that round-trips *)
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let rec emit b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_str f)
+  | Str s ->
+      Buffer.add_char b '"';
+      escape b s;
+      Buffer.add_char b '"'
+  | Arr l ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          emit b v)
+        l;
+      Buffer.add_char b ']'
+  | Obj l ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          escape b k;
+          Buffer.add_string b "\":";
+          emit b v)
+        l;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 1024 in
+  emit b v;
+  Buffer.contents b
+
+(* ---------- parsing ---------- *)
+
+exception Parse_error of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail "bad literal"
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents b
+      | '\\' -> (
+          if !pos >= n then fail "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          match e with
+          | '"' -> Buffer.add_char b '"'; loop ()
+          | '\\' -> Buffer.add_char b '\\'; loop ()
+          | '/' -> Buffer.add_char b '/'; loop ()
+          | 'n' -> Buffer.add_char b '\n'; loop ()
+          | 't' -> Buffer.add_char b '\t'; loop ()
+          | 'r' -> Buffer.add_char b '\r'; loop ()
+          | 'b' -> Buffer.add_char b '\b'; loop ()
+          | 'f' -> Buffer.add_char b '\012'; loop ()
+          | 'u' ->
+              if !pos + 4 > n then fail "bad \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with Failure _ -> fail "bad \\u escape"
+              in
+              (* BMP only; encode as UTF-8 *)
+              if code < 0x80 then Buffer.add_char b (Char.chr code)
+              else if code < 0x800 then begin
+                Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+                Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+              end
+              else begin
+                Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+              end;
+              loop ()
+          | _ -> fail "bad escape")
+      | c -> Buffer.add_char b c; loop ()
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    if String.contains tok '.' || String.contains tok 'e' || String.contains tok 'E'
+    then
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail "bad number"
+    else
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> fail "bad number")
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected %C" c)
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member key = function
+  | Obj l -> List.assoc_opt key l
+  | _ -> None
+
+(* ---------- the BENCH document ---------- *)
+
+let summary_json (hs : Obs.hist_summary) =
+  Obj
+    [
+      ("count", Int hs.Obs.hs_count);
+      ("min", Float hs.Obs.hs_min);
+      ("max", Float hs.Obs.hs_max);
+      ("mean", Float hs.Obs.hs_mean);
+      ("p50", Float hs.Obs.hs_p50);
+      ("p95", Float hs.Obs.hs_p95);
+      ("p99", Float hs.Obs.hs_p99);
+    ]
+
+let of_snapshot (snap : Obs.snapshot) =
+  [
+    ("counters", Obj (List.map (fun (k, v) -> (k, Int v)) snap.Obs.counters));
+    ("gauges", Obj (List.map (fun (k, v) -> (k, Float v)) snap.Obs.gauges));
+    ( "histograms",
+      Obj (List.map (fun (k, hs) -> (k, summary_json hs)) snap.Obs.hists) );
+  ]
+
+let git_rev () =
+  match Sys.getenv_opt "ECSD_GIT_REV" with
+  | Some r when r <> "" -> r
+  | _ -> (
+      try
+        let ic =
+          Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null"
+        in
+        let line = try input_line ic with End_of_file -> "" in
+        match (Unix.close_process_in ic, line) with
+        | Unix.WEXITED 0, rev when rev <> "" -> rev
+        | _ -> "unknown"
+      with _ -> "unknown")
+
+let bench ~name ~steps ~wall_s ?(extra = []) snap =
+  Obj
+    ([
+       ("name", Str name);
+       ("git_rev", Str (git_rev ()));
+       ("steps", Int steps);
+       ("wall_s", Float wall_s);
+       ( "steps_per_s",
+         Float (if wall_s > 0.0 then float_of_int steps /. wall_s else 0.0) );
+     ]
+    @ extra
+    @ of_snapshot snap)
+
+let write ~path v =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string v);
+      output_char oc '\n')

@@ -1,0 +1,330 @@
+(* Tracing spans + metrics. Hot-path discipline: every mutating entry
+   point starts with an [if not !on then ...] bail-out that touches no
+   heap, reads no clock and takes no lock, so a disabled build pays one
+   load + branch per call site. *)
+
+let on = ref false
+let wall0 = ref 0.0
+let enabled () = !on
+let now_ns () = Int64.to_float (Monotonic_clock.now ())
+
+let set_enabled b =
+  if b && not !on then wall0 := Unix.gettimeofday ();
+  on := b
+
+let wall_anchor () = !wall0
+
+(* ---------- spans ---------- *)
+
+type span = {
+  sp_name : string;
+  sp_start_ns : float;
+  sp_dur_ns : float;
+  sp_depth : int;
+  sp_count : int;
+}
+
+let dummy_span =
+  { sp_name = ""; sp_start_ns = 0.0; sp_dur_ns = 0.0; sp_depth = 0; sp_count = 0 }
+
+let ring = ref (Array.make 8192 dummy_span)
+let ring_next = ref 0  (* next write slot *)
+let ring_total = ref 0  (* spans ever completed since reset *)
+
+let set_ring_capacity n =
+  if n < 1 then invalid_arg "Obs.set_ring_capacity";
+  ring := Array.make n dummy_span;
+  ring_next := 0;
+  ring_total := 0
+
+let max_depth = 64
+let stack_name = Array.make max_depth ""
+let stack_t0 = Array.make max_depth 0.0
+let stack_cnt = Array.make max_depth 0
+let depth = ref 0
+
+let push_ring sp =
+  let r = !ring in
+  r.(!ring_next) <- sp;
+  ring_next := (!ring_next + 1) mod Array.length r;
+  incr ring_total
+
+let span_begin name =
+  if !on then begin
+    let d = !depth in
+    if d < max_depth then begin
+      stack_name.(d) <- name;
+      stack_cnt.(d) <- 0;
+      stack_t0.(d) <- now_ns ()
+    end;
+    depth := d + 1
+  end
+
+let span_end () =
+  if !on && !depth > 0 then begin
+    let d = !depth - 1 in
+    depth := d;
+    if d < max_depth then
+      push_ring
+        {
+          sp_name = stack_name.(d);
+          sp_start_ns = stack_t0.(d);
+          sp_dur_ns = now_ns () -. stack_t0.(d);
+          sp_depth = d;
+          sp_count = stack_cnt.(d);
+        }
+  end
+
+let span name f =
+  if not !on then f ()
+  else begin
+    span_begin name;
+    Fun.protect ~finally:span_end f
+  end
+
+let bump n =
+  if !on then begin
+    let d = !depth - 1 in
+    if d >= 0 && d < max_depth then stack_cnt.(d) <- stack_cnt.(d) + n
+  end
+
+let spans () =
+  let r = !ring in
+  let cap = Array.length r in
+  let n = min !ring_total cap in
+  let first = if !ring_total <= cap then 0 else !ring_next in
+  Array.init n (fun i -> r.((first + i) mod cap))
+
+(* ---------- counters / gauges ---------- *)
+
+type counter = { c_name : string; mutable c_value : int }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      Hashtbl.replace counters name c;
+      c
+
+let add c n = if !on then c.c_value <- c.c_value + n
+let counter_value c = c.c_value
+let incr_counter ?(by = 1) name = add (counter name) by
+
+let set_gauge name v =
+  if !on then
+    match Hashtbl.find_opt gauges name with
+    | Some r -> r := v
+    | None -> Hashtbl.replace gauges name (ref v)
+
+(* ---------- histograms ----------
+
+   Bucket = (clamped binary exponent, 16 linear sub-buckets of the
+   mantissa): frexp gives m in [0.5,1) and e with v = m * 2^e; index
+   (e+64)*16 + floor((m-0.5)*32) covers ~2^-64 .. 2^63 with <= ~6 %
+   relative quantile error. Bucket 0 doubles as the underflow/<=0 bin. *)
+
+let n_sub = 16
+let n_exp = 128
+let n_buckets = n_sub * n_exp (* 2048 *)
+
+type hist = {
+  h_name : string;
+  buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+let hists : (string, hist) Hashtbl.t = Hashtbl.create 16
+
+let hist name =
+  match Hashtbl.find_opt hists name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          h_name = name;
+          buckets = Array.make n_buckets 0;
+          h_count = 0;
+          h_sum = 0.0;
+          h_min = infinity;
+          h_max = neg_infinity;
+        }
+      in
+      Hashtbl.replace hists name h;
+      h
+
+let bucket_of v =
+  if v <= 0.0 || Float.is_nan v then 0
+  else begin
+    let m, e = Float.frexp v in
+    if e < -63 then 0
+    else if e > 63 then n_buckets - 1
+    else begin
+      let sub = int_of_float ((m -. 0.5) *. 32.0) in
+      let sub = if sub < 0 then 0 else if sub > 15 then 15 else sub in
+      ((e + 64) * n_sub) + sub
+    end
+  end
+
+(* midpoint of the bucket's value range *)
+let bucket_value i =
+  let e = (i / n_sub) - 64 in
+  let sub = i mod n_sub in
+  Float.ldexp (0.5 +. ((float_of_int sub +. 0.5) /. 32.0)) e
+
+let record h v =
+  if !on then begin
+    let i = bucket_of v in
+    h.buckets.(i) <- h.buckets.(i) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  end
+
+let record_named name v = record (hist name) v
+
+let hist_quantile h q =
+  if h.h_count = 0 then 0.0
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let target =
+      let r = int_of_float (Float.round (q *. float_of_int h.h_count)) in
+      if r < 1 then 1 else r
+    in
+    let acc = ref 0 and i = ref 0 and result = ref h.h_max in
+    (try
+       while !i < n_buckets do
+         acc := !acc + h.buckets.(!i);
+         if !acc >= target then begin
+           result := bucket_value !i;
+           raise Exit
+         end;
+         incr i
+       done
+     with Exit -> ());
+    (* exact bounds beat the bucket midpoint at the extremes *)
+    if !result < h.h_min then h.h_min
+    else if !result > h.h_max then h.h_max
+    else !result
+  end
+
+type hist_summary = {
+  hs_count : int;
+  hs_min : float;
+  hs_max : float;
+  hs_mean : float;
+  hs_p50 : float;
+  hs_p95 : float;
+  hs_p99 : float;
+}
+
+let hist_summary h =
+  if h.h_count = 0 then
+    {
+      hs_count = 0; hs_min = 0.0; hs_max = 0.0; hs_mean = 0.0;
+      hs_p50 = 0.0; hs_p95 = 0.0; hs_p99 = 0.0;
+    }
+  else
+    {
+      hs_count = h.h_count;
+      hs_min = h.h_min;
+      hs_max = h.h_max;
+      hs_mean = h.h_sum /. float_of_int h.h_count;
+      hs_p50 = hist_quantile h 0.50;
+      hs_p95 = hist_quantile h 0.95;
+      hs_p99 = hist_quantile h 0.99;
+    }
+
+(* ---------- snapshot / reset ---------- *)
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  hists : (string * hist_summary) list;
+}
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let snapshot () =
+  {
+    counters =
+      Hashtbl.fold (fun k c acc -> (k, c.c_value) :: acc) counters []
+      |> List.sort by_name;
+    gauges =
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) gauges []
+      |> List.sort by_name;
+    hists =
+      Hashtbl.fold (fun k h acc -> (k, hist_summary h) :: acc) hists []
+      |> List.sort by_name;
+  }
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_value <- 0) counters;
+  Hashtbl.reset gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.buckets 0 n_buckets 0;
+      h.h_count <- 0;
+      h.h_sum <- 0.0;
+      h.h_min <- infinity;
+      h.h_max <- neg_infinity)
+    hists;
+  ring_next := 0;
+  ring_total := 0;
+  depth := 0
+
+(* ---------- Chrome trace export ---------- *)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let chrome_trace () =
+  let sps = spans () in
+  let t0 =
+    Array.fold_left
+      (fun acc sp -> if sp.sp_start_ns < acc then sp.sp_start_ns else acc)
+      infinity sps
+  in
+  let t0 = if Float.is_finite t0 then t0 else 0.0 in
+  let b = Buffer.create (4096 + (Array.length sps * 96)) in
+  Buffer.add_string b "{\"traceEvents\":[";
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"ecsd\",\"wall_start\":%.6f}}"
+       !wall0);
+  Array.iter
+    (fun sp ->
+      Buffer.add_string b ",{\"name\":\"";
+      json_escape b sp.sp_name;
+      Buffer.add_string b
+        (Printf.sprintf
+           "\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"depth\":%d,\"count\":%d}}"
+           ((sp.sp_start_ns -. t0) /. 1e3)
+           (sp.sp_dur_ns /. 1e3) sp.sp_depth sp.sp_count))
+    sps;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let write_chrome_trace ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (chrome_trace ()))

@@ -1,0 +1,127 @@
+(** Observability: tracing spans, metrics, and their export.
+
+    The paper's PIL stage exists to *measure* the generated application
+    (execution times, response latency, jitter, memory). This module
+    gives the environment itself the same treatment: nestable timed
+    spans recorded into a ring buffer, process-wide counters / gauges /
+    log-scale latency histograms, and snapshot/export APIs consumed by
+    {!Bench_json}, the [ecsd --trace/--metrics] flags and the bench
+    harness.
+
+    Everything is disabled by default and strictly zero-cost when
+    disabled: each entry point checks {!enabled} once and the disabled
+    path performs no allocation, no clock read and no hash lookup, so
+    instrumented hot loops (the MIL engine's [Sim.step]) keep their
+    golden-trace semantics and their speed. *)
+
+(** {2 Master switch} *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Turning collection off does not clear recorded data; {!reset} does. *)
+
+val now_ns : unit -> float
+(** Monotonic clock, nanoseconds (arbitrary origin). *)
+
+val wall_anchor : unit -> float
+(** [Unix.gettimeofday] captured when collection was last enabled —
+    anchors the monotonic span timestamps to wall-clock time. *)
+
+(** {2 Spans}
+
+    Spans nest: [span_begin]/[span_end] maintain an explicit stack (no
+    allocation per span) and completed spans land in a bounded ring
+    buffer, oldest evicted first. *)
+
+type span = {
+  sp_name : string;
+  sp_start_ns : float;  (** monotonic, see {!now_ns} *)
+  sp_dur_ns : float;
+  sp_depth : int;  (** nesting depth at entry, outermost = 0 *)
+  sp_count : int;  (** per-span counter, bumped by {!bump} *)
+}
+
+val span_begin : string -> unit
+val span_end : unit -> unit
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] = begin; f (); end — exception-safe closure form for
+    cold paths (the closure itself may allocate; use begin/end pairs in
+    hot loops). *)
+
+val bump : int -> unit
+(** Add to the innermost open span's counter (e.g. events fired during
+    this step). No-op when disabled or outside any span. *)
+
+val spans : unit -> span array
+(** Ring contents, oldest first, in span-completion order. *)
+
+val set_ring_capacity : int -> unit
+(** Default 8192 completed spans; clears the ring. *)
+
+val chrome_trace : unit -> string
+(** The ring as a Chrome [chrome://tracing] / Perfetto JSON document
+    (complete "X" events, microsecond timestamps). *)
+
+val write_chrome_trace : path:string -> unit
+
+(** {2 Counters and gauges} *)
+
+type counter
+
+val counter : string -> counter
+(** Find-or-create a process-wide named counter. Creation is the slow
+    path; keep the handle and use {!add} in hot code. *)
+
+val add : counter -> int -> unit
+(** O(1), no allocation; no-op when disabled. *)
+
+val counter_value : counter -> int
+
+val incr_counter : ?by:int -> string -> unit
+(** Lookup convenience for cold paths. *)
+
+val set_gauge : string -> float -> unit
+
+(** {2 Histograms}
+
+    Log-scale (base-2 exponent with 16 sub-buckets, HDR-style): O(1)
+    record, bounded memory, quantile relative error <= 1/32 + one
+    sub-bucket width (~6 %). Values are whatever unit the call site
+    uses; the convention in this codebase is seconds. *)
+
+type hist
+
+type hist_summary = {
+  hs_count : int;
+  hs_min : float;  (** exact *)
+  hs_max : float;  (** exact *)
+  hs_mean : float;  (** exact *)
+  hs_p50 : float;
+  hs_p95 : float;
+  hs_p99 : float;
+}
+
+val hist : string -> hist
+(** Find-or-create a process-wide named histogram. *)
+
+val record : hist -> float -> unit
+(** O(1), no allocation; no-op when disabled. *)
+
+val record_named : string -> float -> unit
+val hist_summary : hist -> hist_summary
+val hist_quantile : hist -> float -> float
+(** [hist_quantile h q], [0 <= q <= 1]; 0 when empty. *)
+
+(** {2 Snapshot} *)
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;
+  hists : (string * hist_summary) list;
+}
+
+val snapshot : unit -> snapshot
+val reset : unit -> unit
+(** Zero all counters/gauges/histograms and clear the span ring.
+    Registered names survive (handles stay valid). *)

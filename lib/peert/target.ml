@@ -118,7 +118,13 @@ let event_handler_name ~kind ~bean ~event =
     | _ -> bean ^ "_" ^ event
   else bean ^ "_" ^ event
 
+(* codegen metrics: volume of generated output, across all targets *)
+let c_blocks_generated = Obs.counter "peert.blocks_generated"
+let c_lines_emitted = Obs.counter "peert.lines_emitted"
+let c_generations = Obs.counter "peert.generations"
+
 let generate ?(mode = Blockgen.Hw) ~name ~project comp =
+  Obs.span "peert.generate" @@ fun () ->
   let m = comp.Compile.model in
   let mcu = Bean_project.mcu project in
   (match Bean_project.verify project with
@@ -639,6 +645,9 @@ let generate ?(mode = Blockgen.Hw) ~name ~project comp =
       isr_stack_bytes = stack_bytes;
     }
   in
+  Obs.add c_generations 1;
+  Obs.add c_blocks_generated report.n_blocks;
+  Obs.add c_lines_emitted (app_loc + hal_loc);
   { model_h; model_c; main_c; hal; makefile; report; schedule }
 
 let write_to_dir a ~dir =

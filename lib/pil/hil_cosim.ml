@@ -1,3 +1,10 @@
+(* deployment-stage metrics, mirrors the Pil_cosim set *)
+let h_release = Obs.hist "hil.release_latency_s"
+let h_exec = Obs.hist "hil.exec_s"
+let c_periods = Obs.counter "hil.periods"
+let c_overruns = Obs.counter "hil.overruns"
+let c_wdog_bites = Obs.counter "hil.watchdog_bites"
+
 type profile = {
   periods : int;
   controller_exec : Stats.summary;
@@ -19,6 +26,7 @@ let is_kind k b m = (Model.spec_of m b).Block.kind = k
 let run ?(preemptive = false) ?(substeps = 16) ?(button = fun _ -> false)
     ?(background_load = 0.0) ?watchdog ~mcu ~schedule ~controller ~plant
     ~advance ~angle_of ~observe ~encoder ~periods () =
+  Obs.span "hil.run" @@ fun () ->
   let comp = Sim.compiled controller in
   let m = comp.Compile.model in
   let machine = Machine.create ~preemptive ~base_stack:96 mcu in
@@ -77,7 +85,9 @@ let run ?(preemptive = false) ?(substeps = 16) ?(button = fun _ -> false)
         Pwm_periph.set_ratio16 pwm
           (int_of_float (Float.round (ratio *. 65535.0))))
       pwm_blocks;
-    exec_samples := (float_of_int step_cost /. mcu.Mcu_db.f_cpu_hz) :: !exec_samples
+    let exec_s = float_of_int step_cost /. mcu.Mcu_db.f_cpu_hz in
+    Obs.record h_exec exec_s;
+    exec_samples := exec_s :: !exec_samples
   in
   let ctrl_irq =
     Machine.register_irq machine ~name:"TI1" ~prio:2 ~handler:(fun () ->
@@ -119,6 +129,8 @@ let run ?(preemptive = false) ?(substeps = 16) ?(button = fun _ -> false)
   let slice = period /. float_of_int substeps in
   let trace = ref [] in
   for k = 0 to periods - 1 do
+    Obs.span_begin "hil.period";
+    Obs.add c_periods 1;
     for i = 0 to substeps - 1 do
       let t = (float_of_int k *. period) +. (float_of_int i *. slice) in
       Machine.run_until_time machine t;
@@ -130,11 +142,16 @@ let run ?(preemptive = false) ?(substeps = 16) ?(button = fun _ -> false)
       | None -> ())
     done;
     Machine.run_until_time machine (float_of_int (k + 1) *. period);
-    trace := (float_of_int (k + 1) *. period, observe plant) :: !trace
+    trace := (float_of_int (k + 1) *. period, observe plant) :: !trace;
+    Obs.span_end ()
   done;
   let st = Machine.stats_of machine ctrl_irq in
   let to_s c = c /. mcu.Mcu_db.f_cpu_hz in
   let releases = List.map to_s st.Machine.response_cycles in
+  List.iter (Obs.record h_release) releases;
+  Obs.add c_overruns st.Machine.overruns;
+  Obs.add c_wdog_bites
+    (match wdog with Some w -> Wdog_periph.bites w | None -> 0);
   let summary_or_zero l =
     match l with
     | [] ->

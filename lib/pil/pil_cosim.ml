@@ -1,3 +1,11 @@
+(* co-simulation metrics: the same quantities the paper's PIL stage
+   measures on the target, as process-wide histograms/counters *)
+let h_latency = Obs.hist "pil.response_latency_s"
+let h_exec = Obs.hist "pil.exec_s"
+let c_periods = Obs.counter "pil.periods"
+let c_overruns = Obs.counter "pil.overruns"
+let c_frame_holds = Obs.counter "pil.frame_holds"
+
 type 'p plant_driver = {
   read_sensors : 'p -> time:float -> int array;
   apply_actuators : 'p -> int array -> unit;
@@ -44,6 +52,7 @@ let splitmix state =
 let run ?(baud = 115200) ?(rx_isr_cycles = 80) ?(tx_isr_cycles = 40)
     ?(preemptive = false) ?(error_rate = 0.0) ?(seed = 1) ~mcu ~schedule
     ~controller ~plant ~driver ~periods () =
+  Obs.span "pil.run" @@ fun () ->
   let comp = Sim.compiled controller in
   let m = comp.Compile.model in
   let machine = Machine.create ~preemptive ~base_stack:96 mcu in
@@ -151,8 +160,9 @@ let run ?(baud = 115200) ?(rx_isr_cycles = 80) ?(tx_isr_cycles = 40)
           float_of_int (start - (!period_index * period_cycles))
           /. mcu.Mcu_db.f_cpu_hz
           :: !start_offsets;
-        exec_samples :=
-          (float_of_int step_cost /. mcu.Mcu_db.f_cpu_hz) :: !exec_samples;
+        let exec_s = float_of_int step_cost /. mcu.Mcu_db.f_cpu_hz in
+        Obs.record h_exec exec_s;
+        exec_samples := exec_s :: !exec_samples;
         {
           Machine.jname = "pil_step";
           cycles = rx_isr_cycles + step_cost + tx_isr_cycles;
@@ -189,6 +199,8 @@ let run ?(baud = 115200) ?(rx_isr_cycles = 80) ?(tx_isr_cycles = 40)
     ref (Array.make (List.length schedule.Target.actuator_slots) 0)
   in
   for k = 0 to periods - 1 do
+    Obs.span_begin "pil.period";
+    Obs.add c_periods 1;
     period_index := k;
     let t_k = k * period_cycles in
     Machine.advance_to machine ~cycle:t_k;
@@ -215,12 +227,19 @@ let run ?(baud = 115200) ?(rx_isr_cycles = 80) ?(tx_isr_cycles = 40)
         pending_actuators := None;
         (match !reply_complete_cycle with
         | Some c ->
-            latencies := (float_of_int (c - t_k) /. mcu.Mcu_db.f_cpu_hz) :: !latencies
+            let lat = float_of_int (c - t_k) /. mcu.Mcu_db.f_cpu_hz in
+            Obs.record h_latency lat;
+            latencies := lat :: !latencies
         | None -> ())
-    | None -> incr overruns);
+    | None ->
+        (* no reply this period: the host holds the last actuator frame *)
+        incr overruns;
+        Obs.add c_overruns 1;
+        Obs.add c_frame_holds 1);
     driver.apply_actuators plant !last_actuators;
     driver.advance plant ~dt:period;
-    trace := (float_of_int (k + 1) *. period, driver.observe plant) :: !trace
+    trace := (float_of_int (k + 1) *. period, driver.observe plant) :: !trace;
+    Obs.span_end ()
   done;
   let summary_or_zero l =
     match l with

@@ -25,4 +25,6 @@ let () =
       ("rta", Test_rta.suite);
       ("golden", Test_golden.suite);
       ("misc", Test_misc.suite);
+      ("obs", Test_obs.suite);
+      ("sim-golden", Test_sim_golden.suite);
     ]

@@ -1,0 +1,105 @@
+(* Golden MIL trace of the servo closed loop, recorded before the engine
+   hot-path rework (group-order array, growable probe buffers): the
+   rework and the observability instrumentation must not change a single
+   sample. Values captured from the pre-change engine at full double
+   precision. *)
+
+let run_probed () =
+  let built = Servo_system.build () in
+  let comp = Compile.compile built.Servo_system.closed_loop in
+  let sim = Sim.create ~solver_substeps:3 comp in
+  Sim.probe_named sim built.Servo_system.speed_block 0;
+  Sim.probe_named sim built.Servo_system.duty_block 0;
+  Sim.run sim ~until:0.5 ();
+  ( Sim.trace_named sim built.Servo_system.speed_block 0,
+    Sim.trace_named sim built.Servo_system.duty_block 0 )
+
+(* (index, value) spot checks + full-trace checksum, per signal *)
+let golden_speed =
+  ( 500,
+    28059.772156443491,
+    [
+      (0, 0.0);
+      (1, 1.3992724537535195);
+      (166, 49.975399524687994);
+      (250, 49.937178434186265);
+      (333, 50.087540040294371);
+      (498, 99.672210782080214);
+      (499, 99.913573839870011);
+    ] )
+
+let golden_duty =
+  ( 500,
+    61.520333333333426,
+    [
+      (0, 0.062333333333333331);
+      (1, 0.067666666666666667);
+      (166, 0.108);
+      (250, 0.10866666666666666);
+      (333, 0.109);
+      (498, 0.21666666666666667);
+      (499, 0.19766666666666666);
+    ] )
+
+let check_golden name trace (n, sum, spots) =
+  let arr = Array.of_list trace in
+  Alcotest.(check int) (name ^ " sample count") n (Array.length arr);
+  let s = Array.fold_left (fun acc (_, v) -> acc +. v) 0.0 arr in
+  Alcotest.(check (float 1e-6)) (name ^ " checksum") sum s;
+  List.iter
+    (fun (i, expected) ->
+      let _, v = arr.(i) in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "%s[%d]" name i)
+        expected v)
+    spots;
+  (* probe times are the major-step grid, strictly increasing *)
+  Array.iteri
+    (fun i (t, _) ->
+      if i > 0 then
+        let tp, _ = arr.(i - 1) in
+        if t <= tp then Alcotest.failf "%s: time not increasing at %d" name i)
+    arr
+
+let test_golden_trace () =
+  let speed, duty = run_probed () in
+  check_golden "speed" speed golden_speed;
+  check_golden "duty" duty golden_duty
+
+let test_instrumentation_transparent () =
+  (* the same run with the observability layer enabled must produce the
+     bit-identical trace *)
+  let reference = run_probed () in
+  Obs.reset ();
+  Obs.set_enabled true;
+  let instrumented =
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.set_enabled false;
+        Obs.reset ())
+      run_probed
+  in
+  Alcotest.(check bool) "traces bit-identical" true (reference = instrumented)
+
+let test_reset_rerun_identical () =
+  let built = Servo_system.build () in
+  let comp = Compile.compile built.Servo_system.closed_loop in
+  let sim = Sim.create ~solver_substeps:3 comp in
+  Sim.probe_named sim built.Servo_system.speed_block 0;
+  Sim.run sim ~until:0.2 ();
+  let first = Sim.trace_named sim built.Servo_system.speed_block 0 in
+  Sim.reset sim;
+  Alcotest.(check int) "probe cleared by reset" 0
+    (List.length (Sim.trace_named sim built.Servo_system.speed_block 0));
+  Sim.run sim ~until:0.2 ();
+  let second = Sim.trace_named sim built.Servo_system.speed_block 0 in
+  Alcotest.(check bool) "rerun bit-identical" true (first = second)
+
+let suite =
+  [
+    Alcotest.test_case "servo golden trace" `Quick test_golden_trace;
+    Alcotest.test_case "instrumentation transparent" `Quick
+      test_instrumentation_transparent;
+    Alcotest.test_case "reset + rerun identical" `Quick
+      test_reset_rerun_identical;
+  ]
