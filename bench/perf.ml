@@ -1,4 +1,4 @@
-(* P1-P5: performance of the environment itself (bechamel micro-benches).
+(* P1-P8: performance of the environment itself (bechamel micro-benches).
    One Test.make per metric; time-per-run estimated by OLS against the
    monotonic clock. *)
 
@@ -76,6 +76,17 @@ let bench_pil =
            (Pil_cosim.run ~mcu:cfg.Servo_system.mcu ~schedule:arts.Target.schedule
               ~controller ~plant ~driver ~periods:100 ())))
 
+(* P8: the whole static-analysis pipeline (model lint, interval
+   fixpoint, concurrency, MISRA over the generated units) on the servo
+   controller — the cost of one `ecsd check` *)
+let bench_check =
+  let built = Servo_system.build () in
+  Test.make ~name:"P8 static analysis: ecsd check (servo)"
+    (Staged.stage (fun () ->
+         ignore
+           (Check.run ~project:built.Servo_system.project
+              built.Servo_system.controller)))
+
 (* P7: sustained MIL throughput with probes on, measured wall-clock and
    recorded — with the metrics layer — into BENCH_perf.json, the
    machine-readable perf trajectory of the repo. ECSD_BENCH_STEPS
@@ -134,6 +145,16 @@ let bench_json () =
   ignore
     (Pil_cosim.run ~mcu:cfg.Servo_system.mcu ~schedule:arts.Target.schedule
        ~controller ~plant ~driver ~periods ());
+  (* static analysis throughput; the analysis.check spans and the
+     models-checked counter ride into the snapshot below *)
+  let checks = if quick () then 3 else 10 in
+  let t0_chk = Unix.gettimeofday () in
+  for _ = 1 to checks do
+    ignore
+      (Check.run ~project:built.Servo_system.project
+         built.Servo_system.controller)
+  done;
+  let chk_wall = Unix.gettimeofday () -. t0_chk in
   Obs.set_enabled false;
   let snap = Obs.snapshot () in
   let doc = Bench_json.bench ~name:"perf" ~steps ~wall_s snap in
@@ -150,16 +171,18 @@ let bench_json () =
       Printf.printf
         "P7 MIL throughput (servo, all outputs probed): %.0f steps/s\n" sps
   | _ -> failwith "BENCH_perf.json: missing steps_per_s");
+  Printf.printf "P8 static analysis (servo controller): %.1f models checked/s\n"
+    (float_of_int checks /. chk_wall);
   Printf.printf "wrote %s (git %s)\n\n" path (Bench_json.git_rev ())
 
 let run () =
   print_endline "==================================================================";
-  print_endline "P1-P6: environment performance (bechamel, ns per run)";
+  print_endline "P1-P6, P8: environment performance (bechamel, ns per run)";
   print_endline "==================================================================";
   let tests =
     Test.make_grouped ~name:"perf" ~fmt:"%s %s"
       [ bench_mil; bench_machine; bench_codegen; bench_comm; bench_pid_float;
-        bench_pid_fixed; bench_pil ]
+        bench_pid_fixed; bench_pil; bench_check ]
   in
   let cfg =
     Benchmark.cfg ~limit:1500

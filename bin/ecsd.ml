@@ -7,6 +7,7 @@
      ecsd mil       -- closed-loop model-in-the-loop simulation (Fig 7.1)
      ecsd codegen   -- PEERT code generation into a directory
      ecsd pil       -- processor-in-the-loop co-simulation (Fig 6.2)
+     ecsd check     -- static analysis: model advisor, range, ISR, MISRA
      ecsd mcus      -- the supported-MCU database
 *)
 
@@ -49,11 +50,18 @@ let config mcu period fixed =
     variant = (if fixed then Servo_system.Fixed_pid else Servo_system.Float_pid);
   }
 
+(* The one error-reporting path of every sub-command: report on stderr,
+   exit 2 (distinct from `check --strict`'s findings exit code 1). *)
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2)
+    fmt
+
 let build_or_fail cfg =
   try Servo_system.build ~config:cfg ()
-  with Invalid_argument msg ->
-    Printf.eprintf "error: %s\n" msg;
-    exit 2
+  with Invalid_argument msg -> die "%s" msg
 
 (* ---- observability flags, shared by the heavy sub-commands ---- *)
 
@@ -106,9 +114,7 @@ let inspect mcu period fixed bean =
   | Some name -> (
       match Bean_project.find built.Servo_system.project name with
       | b -> print_string (Inspector.render_bean b)
-      | exception Not_found ->
-          Printf.eprintf "no bean named %S in the project\n" name;
-          exit 2));
+      | exception Not_found -> die "no bean named %S in the project" name));
   0
 
 let inspect_cmd =
@@ -170,9 +176,7 @@ let codegen mcu period fixed pil out_dir trace metrics =
       if pil then
         Pil_target.generate ~name:"servo" ~project:built.Servo_system.project comp
       else Target.generate ~name:"servo" ~project:built.Servo_system.project comp
-    with Target.Codegen_error msg ->
-      Printf.eprintf "code generation failed: %s\n" msg;
-      exit 2
+    with Target.Codegen_error msg -> die "code generation failed: %s" msg
   in
   let files = Target.write_to_dir arts ~dir:out_dir in
   let r = arts.Target.report in
@@ -214,9 +218,7 @@ let pil mcu period fixed baud periods trace metrics =
     Pil_cosim.run ~baud ~mcu:cfg.Servo_system.mcu ~schedule:arts.Target.schedule
       ~controller ~plant ~driver ~periods ()
   with
-  | exception Invalid_argument msg ->
-      Printf.eprintf "PIL infeasible: %s\n" msg;
-      2
+  | exception Invalid_argument msg -> die "PIL infeasible: %s" msg
   | r ->
       let p = r.Pil_cosim.profile in
       Printf.printf "periods            : %d\n" p.Pil_cosim.periods;
@@ -308,6 +310,107 @@ let analyze_cmd =
        ~doc:"Static schedulability (response-time analysis) of the generated schedule")
     Term.(const analyze $ mcu_arg $ period_arg $ fixed_arg $ bg)
 
+(* ---- check ---- *)
+
+let check mcu period fixed model_name preemptive rules suppress json strict =
+  let cfg = config mcu period fixed in
+  let model, project =
+    match model_name with
+    | "servo" ->
+        let built = build_or_fail cfg in
+        (built.Servo_system.controller, Some built.Servo_system.project)
+    | "closed-loop" ->
+        let built = build_or_fail cfg in
+        (built.Servo_system.closed_loop, Some built.Servo_system.project)
+    | "plant" -> (Servo_system.plant_model cfg, None)
+    | "isr-demo" ->
+        let m, p = Check.hazard_demo ~mcu () in
+        (m, Some p)
+    | other ->
+        die "unknown model %S (choose servo, closed-loop, plant or isr-demo)"
+          other
+  in
+  let rules =
+    match rules with
+    | None -> None
+    | Some list -> Some (String.split_on_char ',' list |> List.map String.trim)
+  in
+  let suppress =
+    List.map
+      (fun s ->
+        match Diag.parse_suppression s with
+        | Ok sup -> sup
+        | Error msg -> die "--suppress %s: %s" s msg)
+      suppress
+  in
+  let report = Check.run ?rules ~suppress ~preemptive ?project model in
+  print_string (Check.render report);
+  (match json with
+  | Some path ->
+      Bench_json.write ~path (Check.to_json report);
+      Printf.printf "JSON report written to %s\n" path
+  | None -> ());
+  Check.exit_code ~strict report
+
+let check_cmd =
+  let model_arg =
+    Arg.(
+      value
+      & pos 0 string "servo"
+      & info [] ~docv:"MODEL"
+          ~doc:
+            "Model to check: $(b,servo) (the controller), $(b,closed-loop), \
+             $(b,plant), or $(b,isr-demo) (a model with an injected ISR \
+             shared-state hazard).")
+  in
+  let preemptive =
+    Arg.(
+      value & flag
+      & info [ "preemptive" ]
+          ~doc:
+            "Assume preemptive ISRs for the concurrency rules (the generated \
+             code is non-preemptive; this models enabling nested interrupts).")
+  in
+  let rules =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rules" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated rule IDs or families to run (e.g. \
+             $(b,FXP,CON001)). Default: all.")
+  in
+  let suppress =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "suppress" ] ~docv:"SUBJECT:RULE"
+          ~doc:
+            "Suppress a rule for one subject ($(b,pid:FXP002)) or everywhere \
+             ($(b,MIS005)). Repeatable. Suppressed findings stay in the \
+             report but do not affect $(b,--strict).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the report as JSON.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit 1 when any unsuppressed error-severity finding remains.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Static analysis: model advisor, fixed-point range analysis, ISR \
+          shared-state detection, MISRA-subset C lint")
+    Term.(
+      const check $ mcu_arg $ period_arg $ fixed_arg $ model_arg $ preemptive
+      $ rules $ suppress $ json $ strict)
+
 (* ---- simgen ---- *)
 
 let simgen mcu period fixed out_dir =
@@ -369,4 +472,8 @@ let mcus_cmd =
 let () =
   let doc = "integrated environment for embedded control systems design" in
   let info = Cmd.info "ecsd" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ inspect_cmd; mil_cmd; codegen_cmd; pil_cmd; simgen_cmd; analyze_cmd; mcus_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ inspect_cmd; mil_cmd; codegen_cmd; pil_cmd; check_cmd; simgen_cmd;
+            analyze_cmd; mcus_cmd ]))

@@ -1,0 +1,45 @@
+(** The analysis driver behind [ecsd check]: runs every rule family
+    over a model (and, when the Processor Expert project is given, over
+    the generated C), filters and suppresses, and renders the result as
+    an ASCII report or a machine-readable JSON document
+    ({!Bench_json}). *)
+
+type report = {
+  model_name : string;
+  findings : Diag.finding list;  (** filtered, suppression-marked, sorted *)
+  notes : string list;
+      (** analyses skipped and why (e.g. codegen not possible) *)
+}
+
+val run :
+  ?rules:string list ->
+  ?suppress:Diag.suppression list ->
+  ?preemptive:bool ->
+  ?project:Bean_project.t ->
+  Model.t ->
+  report
+(** Run model lint always; range and concurrency analysis when the
+    model compiles; MISRA C lint when [project] is given and every
+    block has an embedded realisation (so {!Target.generate} applies).
+    [rules] restricts to the given IDs or family prefixes;
+    [preemptive] selects the CON severity regime. Never raises. *)
+
+val errors : report -> int
+(** Unsuppressed error-severity findings. *)
+
+val counts : report -> int * int * int
+(** Unsuppressed (errors, warnings, infos). *)
+
+val render : report -> string
+(** The ASCII report. *)
+
+val to_json : report -> Bench_json.t
+
+val exit_code : strict:bool -> report -> int
+(** [0], or [1] under [~strict:true] when {!errors} is nonzero. *)
+
+val hazard_demo : ?mcu:Mcu_db.t -> unit -> Model.t * Bean_project.t
+(** The built-in [isr-demo] example: an ADC end-of-conversion ISR
+    (function-call group) filtering a signal that the periodic timer
+    step consumes — the injected shared-state hazard the CON rules
+    flag. *)

@@ -1,0 +1,76 @@
+type context = Periodic | Isr of Model.group
+
+let context_of m b =
+  match Model.group_of m b with Some g -> Isr g | None -> Periodic
+
+let context_name m = function
+  | Periodic -> "the periodic timer step"
+  | Isr g -> Printf.sprintf "ISR group %S" (Model.group_name m g)
+
+let findings ?(preemptive = false) ?(word_bits = 16) comp =
+  let m = comp.Compile.model in
+  (* readers of each output port that live in a different execution
+     context than the writer *)
+  let shared = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      let spec = Model.spec_of m b in
+      for p = 0 to spec.Block.n_in - 1 do
+        match Model.driver m (b, p) with
+        | Some (sb, sp) ->
+            let wctx = context_of m sb and rctx = context_of m b in
+            if wctx <> rctx then begin
+              let key = (Model.blk_index sb, sp) in
+              let prev =
+                match Hashtbl.find_opt shared key with
+                | Some (_, _, readers) -> readers
+                | None -> []
+              in
+              if not (List.mem rctx prev) then
+                Hashtbl.replace shared key (sb, wctx, rctx :: prev)
+            end
+        | None -> ()
+      done)
+    (Model.blocks m);
+  let per_signal =
+    Hashtbl.fold (fun (_, sp) (sb, wctx, readers) acc ->
+        (sb, sp, wctx, List.rev readers) :: acc)
+      shared []
+    |> List.sort (fun (a, ap, _, _) (b, bp, _, _) ->
+           compare (Model.blk_index a, ap) (Model.blk_index b, bp))
+  in
+  List.concat_map
+    (fun (sb, sp, wctx, readers) ->
+      let name = Model.block_name m sb in
+      let dt = comp.Compile.out_types.(Model.blk_index sb).(sp) in
+      let where =
+        Printf.sprintf "signal %s:%d (%s) is written in %s and read in %s" name
+          sp (Dtype.to_string dt) (context_name m wctx)
+          (String.concat ", " (List.map (context_name m) readers))
+      in
+      let sharing =
+        if preemptive then
+          Diag.make ~rule:"CON001" ~subject:name
+            (where
+           ^ "; ISR preemption is enabled and the access is unprotected \
+              (no critical section in the generated code)")
+        else
+          Diag.make ~rule:"CON002" ~subject:name
+            (where
+           ^ "; safe only because the generated ISRs run to completion \
+              (non-preemptive scheme)")
+      in
+      let atomicity =
+        if Dtype.bits dt > word_bits then
+          [
+            Diag.make ~rule:"CON003" ~subject:name
+              (Printf.sprintf
+                 "%s; the %d-bit value cannot be accessed atomically on a \
+                  %d-bit word machine (torn read if preemption is ever \
+                  enabled)"
+                 where (Dtype.bits dt) word_bits);
+          ]
+        else []
+      in
+      sharing :: atomicity)
+    per_signal

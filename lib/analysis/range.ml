@@ -1,0 +1,371 @@
+type itv = { lo : float; hi : float }
+
+let itv lo hi = { lo; hi }
+let top = { lo = neg_infinity; hi = infinity }
+let point v = { lo = v; hi = v }
+let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+let hull_pt a v = hull a (point v)
+let add a b = { lo = a.lo +. b.lo; hi = a.hi +. b.hi }
+let neg a = { lo = -.a.hi; hi = -.a.lo }
+let sub a b = add a (neg b)
+
+(* 0 * inf would be nan; the mathematically right product with a zero
+   factor is zero, which is also what the engine computes. *)
+let pmul a b = if a = 0.0 || b = 0.0 then 0.0 else a *. b
+
+let mul a b =
+  let c = [| pmul a.lo b.lo; pmul a.lo b.hi; pmul a.hi b.lo; pmul a.hi b.hi |] in
+  { lo = Array.fold_left Float.min c.(0) c; hi = Array.fold_left Float.max c.(0) c }
+
+let scale k a = mul (point k) a
+
+let div a b =
+  if b.lo <= 0.0 && b.hi >= 0.0 then top
+  else
+    let pdiv x y = if x = 0.0 then 0.0 else x /. y in
+    let c = [| pdiv a.lo b.lo; pdiv a.lo b.hi; pdiv a.hi b.lo; pdiv a.hi b.hi |] in
+    { lo = Array.fold_left Float.min c.(0) c;
+      hi = Array.fold_left Float.max c.(0) c }
+
+let abs_itv a =
+  if a.lo >= 0.0 then a
+  else if a.hi <= 0.0 then neg a
+  else { lo = 0.0; hi = Float.max (-.a.lo) a.hi }
+
+let meet_clamp ~min_v ~max_v a =
+  (* saturation semantics of [Value.of_float]: values outside the type
+     range land exactly on the nearest bound *)
+  if a.lo > max_v then point max_v
+  else if a.hi < min_v then point min_v
+  else { lo = Float.max a.lo min_v; hi = Float.min a.hi max_v }
+
+type t = {
+  comp : Compile.t;
+  clamped : itv option array array;
+  raw : itv option array array;
+}
+
+let dt_of comp b =
+  match Compile.resolved_of comp b with
+  | Sample_time.R_discrete { period; _ } -> period
+  | _ -> comp.Compile.base_dt
+
+let dtype_range dt =
+  (Dtype.min_float_value dt, Dtype.max_float_value dt)
+
+(* Transfer function: raw output intervals of one block from its input
+   intervals. [None] is bottom (not yet computed); unknown kinds go to
+   the full range of their declared output type, which is sound. *)
+let transfer comp b (ins : itv option array) : itv option array =
+  let m = comp.Compile.model in
+  let spec = Model.spec_of m b in
+  let params = spec.Block.params in
+  let bi = Model.blk_index b in
+  let n_out = spec.Block.n_out in
+  let out_dt p = comp.Compile.out_types.(bi).(p) in
+  let pf name = Param.float params name in
+  let all_out i = Array.make n_out (Some i) in
+  let need p k = match ins.(p) with Some i -> k i | None -> Array.make n_out None in
+  let dt = dt_of comp b in
+  let top_of_type = Array.init n_out (fun p ->
+      let min_v, max_v = dtype_range (out_dt p) in
+      Some (itv min_v max_v))
+  in
+  if n_out = 0 then [||]
+  else
+    match spec.Block.kind with
+    | "Constant" -> all_out (point (pf "value"))
+    | "Step" -> all_out (hull (point (pf "before")) (point (pf "after")))
+    | "Ramp" ->
+        let start = pf "start" and slope = pf "slope" in
+        all_out
+          (if slope > 0.0 then itv start infinity
+           else if slope < 0.0 then itv neg_infinity start
+           else point start)
+    | "Sine" ->
+        let amp = Float.abs (pf "amp") and bias = pf "bias" in
+        all_out (itv (bias -. amp) (bias +. amp))
+    | "Pulse" -> all_out (hull_pt (point (pf "amp")) 0.0)
+    | "SetpointSchedule" ->
+        (* the schedule outputs 0.0 before the first breakpoint *)
+        let values = Param.floats params "values" in
+        all_out (Array.fold_left hull_pt (point 0.0) values)
+    | "UniformNoise" -> all_out (itv (pf "lo") (pf "hi"))
+    | "Clock" -> all_out (itv 0.0 infinity)
+    | "Inport" -> top_of_type
+    | "Outport" | "ZOH" | "Merge2" | "Cast" | "Abs" | "Neg" | "Min" | "Max"
+    | "Sum" | "Gain" | "Product" | "Divide" | "MathFn" | "Switch"
+    | "Saturation" | "Quantizer" | "DeadZone" | "Sign" | "CoulombFriction"
+    | "Backlash" | "UnitDelay" | "DelayN" | "DiscreteDerivative"
+    | "RateLimiter" | "MovingAverage" | "EncoderSpeed" -> (
+        match spec.Block.kind with
+        | "Outport" | "ZOH" | "Cast" -> need 0 (fun i -> all_out i)
+        | "Merge2" ->
+            need 0 (fun a -> need 1 (fun b -> all_out (hull a b)))
+        | "Abs" -> need 0 (fun i -> all_out (abs_itv i))
+        | "Neg" -> need 0 (fun i -> all_out (neg i))
+        | "Min" ->
+            need 0 (fun a ->
+                need 1 (fun b ->
+                    all_out (itv (Float.min a.lo b.lo) (Float.min a.hi b.hi))))
+        | "Max" ->
+            need 0 (fun a ->
+                need 1 (fun b ->
+                    all_out (itv (Float.max a.lo b.lo) (Float.max a.hi b.hi))))
+        | "Sum" ->
+            let signs = Param.string params "signs" in
+            let acc = ref (Some (point 0.0)) in
+            String.iteri
+              (fun p sign ->
+                match (!acc, ins.(p)) with
+                | Some a, Some i ->
+                    acc := Some (if sign = '-' then sub a i else add a i)
+                | _ -> acc := None)
+              signs;
+            (match !acc with Some i -> all_out i | None -> Array.make n_out None)
+        | "Gain" -> need 0 (fun i -> all_out (scale (pf "k") i))
+        | "Product" ->
+            let acc = ref (Some (point 1.0)) in
+            Array.iteri
+              (fun _ i ->
+                match (!acc, i) with
+                | Some a, Some b -> acc := Some (mul a b)
+                | _ -> acc := None)
+              ins;
+            (match !acc with Some i -> all_out i | None -> Array.make n_out None)
+        | "Divide" -> need 0 (fun a -> need 1 (fun b -> all_out (div a b)))
+        | "MathFn" -> (
+            match Param.string params "fn" with
+            | "sin" | "cos" -> all_out (itv (-1.0) 1.0)
+            | "exp" -> need 0 (fun i -> all_out (itv (exp i.lo) (exp i.hi)))
+            | "sqrt" ->
+                need 0 (fun i -> all_out (itv 0.0 (sqrt (Float.max 0.0 i.hi))))
+            | "log" ->
+                need 0 (fun i ->
+                    if i.lo > 0.0 then all_out (itv (log i.lo) (log i.hi))
+                    else all_out top)
+            | _ -> top_of_type)
+        | "Switch" -> need 0 (fun a -> need 2 (fun b -> all_out (hull a b)))
+        | "Saturation" -> all_out (itv (pf "lo") (pf "hi"))
+        | "Quantizer" ->
+            let q = pf "interval" in
+            need 0 (fun i -> all_out (itv (i.lo -. (q /. 2.0)) (i.hi +. (q /. 2.0))))
+        | "DeadZone" ->
+            let lo = pf "lo" and hi = pf "hi" in
+            need 0 (fun i ->
+                all_out (itv (Float.min 0.0 (i.lo -. lo)) (Float.max 0.0 (i.hi -. hi))))
+        | "Sign" -> all_out (itv (-1.0) 1.0)
+        | "CoulombFriction" ->
+            let l = Float.abs (pf "level") in
+            need 0 (fun i -> all_out (itv (i.lo -. l) (i.hi +. l)))
+        | "Backlash" ->
+            let w = pf "width" in
+            need 0 (fun i -> all_out (hull_pt (itv (i.lo -. w) (i.hi +. w)) 0.0))
+        | "UnitDelay" ->
+            let init = point (pf "init") in
+            all_out (match ins.(0) with Some i -> hull init i | None -> init)
+        | "DelayN" ->
+            if Param.int params "n" = 0 then need 0 (fun i -> all_out i)
+            else
+              all_out
+                (match ins.(0) with
+                | Some i -> hull_pt i 0.0
+                | None -> point 0.0)
+        | "DiscreteDerivative" ->
+            let k = Float.abs (pf "k") in
+            need 0 (fun i ->
+                let h = hull_pt i 0.0 in
+                let w = k *. (h.hi -. h.lo) /. dt in
+                all_out (itv (-.w) w))
+        | "RateLimiter" | "MovingAverage" ->
+            need 0 (fun i -> all_out (hull_pt i 0.0))
+        | "EncoderSpeed" ->
+            (* wrap-aware 16-bit count difference: |delta| <= 2^15 *)
+            let cpr = Param.int params "counts_per_rev" in
+            let k = 2.0 *. Float.pi /. float_of_int cpr in
+            let w = 32768.0 *. k /. dt in
+            all_out (itv (-.w) w)
+        | _ -> assert false)
+    | "DiscreteIntegrator" ->
+        all_out (hull_pt (itv (pf "lo") (pf "hi")) (pf "init"))
+    | "Pid" -> all_out (itv (pf "u_min") (pf "u_max"))
+    | "FixPid" ->
+        (* the Q-format accumulator clamps u/out_scale to +-2.0 *)
+        let s = pf "out_scale" in
+        all_out
+          (itv (Float.max (pf "u_min") (-2.0 *. s))
+             (Float.min (pf "u_max") (2.0 *. s)))
+    | "Compare" | "Logic" -> all_out (itv 0.0 1.0)
+    | "Relay" ->
+        all_out (hull (point (pf "on_value")) (point (pf "off_value")))
+    | "Lookup1D" | "Lookup1DNearest" ->
+        let ys = Param.floats params "ys" in
+        if Array.length ys = 0 then top_of_type
+        else all_out (Array.fold_left hull_pt (point ys.(0)) ys)
+    | "PE_Adc" | "AR_Adc" -> (
+        match Param.int_opt params "max_code" with
+        | Some mc -> all_out (itv 0.0 (float_of_int mc))
+        | None -> top_of_type)
+    | "PE_Pwm" | "AR_Pwm" -> all_out (itv 0.0 1.0)
+    | "PE_BitIO_In" | "AR_BitIO_In" -> all_out (itv 0.0 1.0)
+    | _ -> top_of_type
+
+let analyze comp =
+  let m = comp.Compile.model in
+  let n = Model.n_blocks m in
+  let blocks = Model.blocks m in
+  let clamped = Array.make n [||] in
+  let raw = Array.make n [||] in
+  List.iter
+    (fun b ->
+      let spec = Model.spec_of m b in
+      clamped.(Model.blk_index b) <- Array.make spec.Block.n_out None;
+      raw.(Model.blk_index b) <- Array.make spec.Block.n_out None)
+    blocks;
+  let input_itvs b =
+    let spec = Model.spec_of m b in
+    Array.init spec.Block.n_in (fun p ->
+        match Model.driver m (b, p) with
+        | Some (sb, sp) -> clamped.(Model.blk_index sb).(sp)
+        | None -> None)
+  in
+  let clamp_port b p i =
+    let dt = comp.Compile.out_types.(Model.blk_index b).(p) in
+    let min_v, max_v = dtype_range dt in
+    (* an integer-typed port stores a rounding of the computed value;
+       [floor, ceil] covers truncation and round-to-nearest alike *)
+    let i =
+      if Dtype.is_integer dt then itv (Float.floor i.lo) (Float.ceil i.hi)
+      else i
+    in
+    meet_clamp ~min_v ~max_v i
+  in
+  let widen_after = n + 2 in
+  let max_rounds = (2 * n) + 8 in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < max_rounds do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun b ->
+        let bi = Model.blk_index b in
+        let outs = transfer comp b (input_itvs b) in
+        Array.iteri
+          (fun p o ->
+            match o with
+            | None -> ()
+            | Some i ->
+                let i = clamp_port b p i in
+                let cur = clamped.(bi).(p) in
+                let next =
+                  match cur with None -> i | Some c -> hull c i
+                in
+                if cur <> Some next then begin
+                  let next =
+                    (* widening: a bound still moving after the graph
+                       diameter has been exceeded is in a feedback loop
+                       and goes straight to the type bound *)
+                    if !rounds <= widen_after then next
+                    else
+                      let c = match cur with Some c -> c | None -> next in
+                      clamp_port b p
+                        (itv
+                           (if next.lo < c.lo then neg_infinity else next.lo)
+                           (if next.hi > c.hi then infinity else next.hi))
+                  in
+                  if cur <> Some next then begin
+                    clamped.(bi).(p) <- Some next;
+                    changed := true
+                  end
+                end)
+          outs)
+      blocks
+  done;
+  (* one final pass records the pre-clamp intervals consistently with
+     the fixpoint inputs *)
+  List.iter
+    (fun b ->
+      let bi = Model.blk_index b in
+      let outs = transfer comp b (input_itvs b) in
+      Array.iteri (fun p o -> raw.(bi).(p) <- o) outs)
+    blocks;
+  { comp; clamped; raw }
+
+let interval t (b, p) = t.clamped.(Model.blk_index b).(p)
+let raw_interval t (b, p) = t.raw.(Model.blk_index b).(p)
+
+let pp_itv i = Printf.sprintf "[%g, %g]" i.lo i.hi
+
+let findings t =
+  let comp = t.comp in
+  let m = comp.Compile.model in
+  let acc = ref [] in
+  let emit f = acc := f :: !acc in
+  List.iter
+    (fun b ->
+      let bi = Model.blk_index b in
+      let spec = Model.spec_of m b in
+      let name = Model.block_name m b in
+      (* FXP001 / FXP003: raw range vs bounded port type *)
+      Array.iteri
+        (fun p r ->
+          match r with
+          | None -> ()
+          | Some r ->
+              let dt = comp.Compile.out_types.(bi).(p) in
+              let min_v, max_v = dtype_range dt in
+              if Float.is_finite min_v || Float.is_finite max_v then
+                if r.lo > max_v || r.hi < min_v then
+                  emit
+                    (Diag.make ~rule:"FXP003" ~subject:name
+                       (Printf.sprintf
+                          "output %d range %s lies entirely outside %s range \
+                           [%g, %g]; the cast always saturates"
+                          p (pp_itv r) (Dtype.to_string dt) min_v max_v))
+                else if r.lo < min_v || r.hi > max_v then
+                  emit
+                    (Diag.make ~rule:"FXP001" ~subject:name
+                       (Printf.sprintf
+                          "output %d range %s exceeds %s range [%g, %g]; \
+                           generated code saturates"
+                          p (pp_itv r) (Dtype.to_string dt) min_v max_v)))
+        t.raw.(bi);
+      (* FXP002: fixed-point PID normalisation *)
+      (if spec.Block.kind = "FixPid" then
+         match Param.dtype_opt spec.Block.params "fmt" with
+         | Some (Dtype.Fix qf) ->
+             let s = Param.float spec.Block.params "in_scale" in
+             let qmax = Qformat.max_value qf and qmin = Qformat.min_value qf in
+             List.iteri
+               (fun p input ->
+                 match
+                   match Model.driver m (b, p) with
+                   | Some (sb, sp) -> interval t (sb, sp)
+                   | None -> None
+                 with
+                 | None -> ()
+                 | Some i ->
+                     if i.hi /. s > qmax || i.lo /. s < qmin then
+                       emit
+                         (Diag.make ~rule:"FXP002" ~subject:name
+                            (Printf.sprintf
+                               "input %s (%d) range %s exceeds %s at \
+                                in_scale %g: representable span is [%g, %g]"
+                               input p (pp_itv i) (Qformat.to_string qf) s
+                               (qmin *. s) (qmax *. s))))
+               [ "sp"; "pv" ]
+         | _ -> ());
+      (* FXP004: divisor range containing zero *)
+      if spec.Block.kind = "Divide" then
+        match Model.driver m (b, 1) with
+        | Some (sb, sp) -> (
+            match interval t (sb, sp) with
+            | Some i when i.lo <= 0.0 && i.hi >= 0.0 ->
+                emit
+                  (Diag.make ~rule:"FXP004" ~subject:name
+                     (Printf.sprintf "divisor range %s contains zero" (pp_itv i)))
+            | _ -> ())
+        | None -> ())
+    (Model.blocks m);
+  List.rev !acc

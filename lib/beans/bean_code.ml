@@ -286,12 +286,17 @@ let unit_of_bean mcu t =
                (n ^ "_RecvChar")
                [ (Ptr (Named "byte"), "chr") ]
                [
+                 (* single exit point (MISRA) *)
+                 Decl (Named "byte", "err", Some (Var "ERR_RXEMPTY"));
                  If
-                   ( Bin ("==", Bin ("&", reg (n ^ "_STAT"), Hex_lit 0x4000), Int_lit 0),
-                     [ Return (Some (Var "ERR_RXEMPTY")) ],
+                   ( Bin ("!=", Bin ("&", reg (n ^ "_STAT"), Hex_lit 0x4000), Int_lit 0),
+                     [
+                       Assign
+                         (Un ("*", Var "chr"), Cast_to (Named "byte", reg (n ^ "_DATA")));
+                       Assign (Var "err", Var "ERR_OK");
+                     ],
                      [] );
-                 Assign (Un ("*", Var "chr"), Cast_to (Named "byte", reg (n ^ "_DATA")));
-                 Return (Some (Var "ERR_OK"));
+                 Return (Some (Var "err"));
                ]);
         ]
     | Bean.Watch_dog { timeout }, Some (Bean.R_wdog { timeout_cycles }) ->

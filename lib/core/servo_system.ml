@@ -122,7 +122,9 @@ let () =
             If
               ( Bin ("&&", btn, Un ("!", g.Blockgen.state "prev")),
                 [
-                  Assign (g.Blockgen.state "auto", Un ("!", g.Blockgen.state "auto"));
+                  Assign
+                    ( g.Blockgen.state "auto",
+                      Cast_to (U8, Un ("!", g.Blockgen.state "auto")) );
                 ],
                 [] );
             Assign (g.Blockgen.state "prev", btn);

@@ -2,6 +2,18 @@ exception Compile_error of string
 
 let err fmt = Printf.ksprintf (fun s -> raise (Compile_error s)) fmt
 
+type diag_kind =
+  | Empty_model
+  | Unconnected_input of int
+  | Triggered_without_group
+  | Algebraic_loop of string list
+
+type diag = {
+  d_block : string option;
+  d_kind : diag_kind;
+  d_msg : string;
+}
+
 type t = {
   model : Model.t;
   order : Model.blk array;
@@ -13,16 +25,50 @@ type t = {
   has_continuous : bool;
 }
 
-let check_inputs m =
-  List.iter
+(* Wiring checks are written as collectors so that [diagnose] can report
+   every violation at once; [compile] keeps its historical behaviour of
+   raising on the first one. *)
+let unconnected_diags m =
+  List.concat_map
     (fun b ->
       let spec = Model.spec_of m b in
-      for p = 0 to spec.Block.n_in - 1 do
-        if Model.driver m (b, p) = None then
-          err "model %s: input %s:%d is unconnected" (Model.name m)
-            (Model.block_name m b) p
-      done)
+      List.filter_map
+        (fun p ->
+          if Model.driver m (b, p) = None then
+            Some
+              {
+                d_block = Some (Model.block_name m b);
+                d_kind = Unconnected_input p;
+                d_msg =
+                  Printf.sprintf "model %s: input %s:%d is unconnected"
+                    (Model.name m) (Model.block_name m b) p;
+              }
+          else None)
+        (List.init spec.Block.n_in Fun.id))
     (Model.blocks m)
+
+let triggered_diags m =
+  List.filter_map
+    (fun b ->
+      let spec = Model.spec_of m b in
+      if spec.Block.sample = Sample_time.Triggered && Model.group_of m b = None
+      then
+        Some
+          {
+            d_block = Some (Model.block_name m b);
+            d_kind = Triggered_without_group;
+            d_msg =
+              Printf.sprintf
+                "model %s: %s declares Triggered but belongs to no group"
+                (Model.name m) (Model.block_name m b);
+          }
+      else None)
+    (Model.blocks m)
+
+let check_inputs m =
+  match unconnected_diags m with
+  | [] -> ()
+  | d :: _ -> raise (Compile_error d.d_msg)
 
 (* Data-type fixpoint: iterate the per-block output type rules until no
    port type changes. Port types start unknown; a cycle where every block
@@ -193,7 +239,9 @@ let resolve_sample m ~default_dt =
 (* Topological sort over direct-feedthrough data edges. [subset] selects
    the block population (periodic vs one function-call group); edges from
    outside the subset are treated as already-available state. *)
-let sort_subset m subset =
+exception Cycle_found of Model.blk list
+
+let sort_subset_exn m subset =
   let in_subset = Hashtbl.create 16 in
   List.iter (fun b -> Hashtbl.replace in_subset b ()) subset;
   let deps b =
@@ -213,12 +261,7 @@ let sort_subset m subset =
   let rec visit path b =
     match Hashtbl.find_opt mark b with
     | Some 1 -> ()
-    | Some 0 ->
-        let cycle =
-          List.map (Model.block_name m) (b :: path)
-          |> List.rev |> String.concat " -> "
-        in
-        err "model %s: algebraic loop: %s" (Model.name m) cycle
+    | Some 0 -> raise (Cycle_found (b :: path))
     | Some _ -> assert false
     | None ->
         Hashtbl.replace mark b 0;
@@ -228,6 +271,45 @@ let sort_subset m subset =
   in
   List.iter (visit []) subset;
   Array.of_list (List.rev !order)
+
+let cycle_diag m bs =
+  let names = List.rev_map (Model.block_name m) bs in
+  {
+    d_block = (match names with n :: _ -> Some n | [] -> None);
+    d_kind = Algebraic_loop names;
+    d_msg =
+      Printf.sprintf "model %s: algebraic loop: %s" (Model.name m)
+        (String.concat " -> " names);
+  }
+
+let sort_subset m subset =
+  try sort_subset_exn m subset
+  with Cycle_found bs -> raise (Compile_error (cycle_diag m bs).d_msg)
+
+let loop_diags m =
+  let periodic =
+    List.filter (fun b -> Model.group_of m b = None) (Model.blocks m)
+  in
+  let subsets =
+    periodic :: List.map (Model.group_blocks m) (Model.groups m)
+  in
+  List.filter_map
+    (fun subset ->
+      match sort_subset_exn m subset with
+      | _ -> None
+      | exception Cycle_found bs -> Some (cycle_diag m bs))
+    subsets
+
+let diagnose m =
+  if Model.blocks m = [] then
+    [
+      {
+        d_block = None;
+        d_kind = Empty_model;
+        d_msg = Printf.sprintf "model %s: empty model" (Model.name m);
+      };
+    ]
+  else unconnected_diags m @ triggered_diags m @ loop_diags m
 
 let compile ?(default_dt = 1e-3) m =
   if Model.blocks m = [] then err "model %s: empty model" (Model.name m);

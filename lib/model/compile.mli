@@ -10,6 +10,21 @@
 
 exception Compile_error of string
 
+(** One structural violation, as collected by {!diagnose}. [d_msg] is the
+    exact text {!compile} would raise as [Compile_error] for the same
+    defect. *)
+type diag_kind =
+  | Empty_model
+  | Unconnected_input of int  (** the unconnected input port index *)
+  | Triggered_without_group
+  | Algebraic_loop of string list  (** block names along the cycle *)
+
+type diag = {
+  d_block : string option;  (** offending block name, when located *)
+  d_kind : diag_kind;
+  d_msg : string;
+}
+
 type t = {
   model : Model.t;
   order : Model.blk array;
@@ -29,6 +44,13 @@ val compile : ?default_dt:float -> Model.t -> t
     models) and as the period assigned to unresolvable inherited blocks.
     @raise Compile_error on unconnected inputs, algebraic loops,
     unresolvable data types, or an empty model. *)
+
+val diagnose : Model.t -> diag list
+(** Collect {e every} structural violation [compile] would stop at —
+    unconnected inputs, orphan Triggered blocks, and algebraic loops in
+    the periodic population and each function-call group — instead of
+    the first one. Returns [[]] exactly when the structural phase of
+    [compile] succeeds. Never raises. *)
 
 val resolved_of : t -> Model.blk -> Sample_time.resolved
 val out_type : t -> Model.blk * int -> Dtype.t

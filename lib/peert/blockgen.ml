@@ -52,6 +52,14 @@ let clamp_stmts target lo hi =
     s := If (Bin ("<", target, flt lo), [ Assign (target, flt lo) ], []) :: !s;
   List.rev !s
 
+(* Integer variant: clamping an int32 accumulator with float literals
+   would be an implicit double -> int32_t narrowing (MISRA). *)
+let clamp_stmts_int target lo hi =
+  [
+    If (Bin (">", target, int_ hi), [ Assign (target, int_ hi) ], []);
+    If (Bin ("<", target, int_ lo), [ Assign (target, int_ lo) ], []);
+  ]
+
 let pil_slot_exn g =
   match g.pil_slot with
   | Some s -> s
@@ -586,9 +594,8 @@ let emit_builtin g spec =
                   [] );
               Assign (g.state "e_prev", e);
             ]
-          @ clamp_stmts acc
-              (float_of_int c.Pid.Fixpoint.u_min_raw)
-              (float_of_int c.Pid.Fixpoint.u_max_raw)
+          @ clamp_stmts_int acc c.Pid.Fixpoint.u_min_raw
+              c.Pid.Fixpoint.u_max_raw
           @ [
               Assign
                 ( out0 g,

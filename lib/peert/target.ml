@@ -57,27 +57,35 @@ let fix_helpers =
          "pe_sat16"
          [ (I32, "x") ]
          [
-           If (Bin (">", Var "x", Int_lit 32767), [ Return (Some (Int_lit 32767)) ], []);
-           If
-             ( Bin ("<", Var "x", Int_lit (-32768)),
-               [ Return (Some (Int_lit (-32768))) ],
-               [] );
-           Return (Some (Cast_to (I16, Var "x")));
+           (* single exit point (MISRA): saturate with nested ternaries *)
+           Return
+             (Some
+                (Cast_to
+                   ( I16,
+                     Ternary
+                       ( Bin (">", Var "x", Int_lit 32767),
+                         Int_lit 32767,
+                         Ternary
+                           ( Bin ("<", Var "x", Int_lit (-32768)),
+                             Int_lit (-32768),
+                             Var "x" ) ) )));
          ]);
     Func_def
       (func ~static:true ~comment:"saturating 32-bit addition" I32 "pe_sat_add32"
          [ (I32, "a"); (I32, "b") ]
          [
            Decl (Named "int64_t", "s", Some (Bin ("+", Cast_to (Named "int64_t", Var "a"), Var "b")));
-           If
-             ( Bin (">", Var "s", Var "INT32_MAX"),
-               [ Return (Some (Var "INT32_MAX")) ],
-               [] );
-           If
-             ( Bin ("<", Var "s", Var "INT32_MIN"),
-               [ Return (Some (Var "INT32_MIN")) ],
-               [] );
-           Return (Some (Cast_to (I32, Var "s")));
+           Return
+             (Some
+                (Cast_to
+                   ( I32,
+                     Ternary
+                       ( Bin (">", Var "s", Var "INT32_MAX"),
+                         Var "INT32_MAX",
+                         Ternary
+                           ( Bin ("<", Var "s", Var "INT32_MIN"),
+                             Var "INT32_MIN",
+                             Var "s" ) ) )));
          ]);
     Func_def
       (func ~static:true

@@ -40,6 +40,12 @@ type schedule = {
   isr_stack_bytes : int;
 }
 
+val is_sensor_kind : string -> bool
+(** Peripheral input kinds (ADC, quadrature decoder, digital in). *)
+
+val is_actuator_kind : string -> bool
+(** Peripheral output kinds (PWM, DAC, digital out). *)
+
 type artifacts = {
   model_h : C_ast.cunit;
   model_c : C_ast.cunit;

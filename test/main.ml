@@ -27,4 +27,5 @@ let () =
       ("misc", Test_misc.suite);
       ("obs", Test_obs.suite);
       ("sim-golden", Test_sim_golden.suite);
+      ("analysis", Test_analysis.suite);
     ]
