@@ -87,6 +87,22 @@ let bench_check =
            (Check.run ~project:built.Servo_system.project
               built.Servo_system.controller)))
 
+(* P9: one SIL step — the interpreted generated servo application
+   (servo_step plus the exchange-buffer reads) against P1's MIL step *)
+let bench_sil =
+  let built = Servo_system.build () in
+  let comp = Compile.compile built.Servo_system.controller in
+  let app =
+    Silvm_app.create ~name:"servo" ~project:built.Servo_system.project comp
+  in
+  Silvm_app.initialize app;
+  Silvm_app.set_sensor app 0 2048;
+  Silvm_app.set_sensor app 1 0;
+  Test.make ~name:"P9 SIL interpreter step (servo generated app)"
+    (Staged.stage (fun () ->
+         Silvm_app.step app;
+         ignore (Silvm_app.actuator app 0)))
+
 (* P7: sustained MIL throughput with probes on, measured wall-clock and
    recorded — with the metrics layer — into BENCH_perf.json, the
    machine-readable perf trajectory of the repo. ECSD_BENCH_STEPS
@@ -155,9 +171,48 @@ let bench_json () =
          built.Servo_system.controller)
   done;
   let chk_wall = Unix.gettimeofday () -. t0_chk in
+  (* P9: MIL<->SIL differential execution rate on the servo in closed
+     loop — every block output of every step compared bit-for-bit *)
+  let diff_steps = if quick () then 200 else 1000 in
+  let comp_diff = Compile.compile built_pil.Servo_system.controller in
+  let diff_report =
+    Silvm_diff.run ~steps:diff_steps
+      ~plant:
+        (Silvm_diff.Plant
+           (Servo_system.pil_plant built_pil, Servo_system.pil_driver built_pil))
+      ~name:"servo" ~project:built_pil.Servo_system.project comp_diff
+  in
+  (match diff_report.Silvm_diff.divergence with
+  | None -> ()
+  | Some d ->
+      failwith
+        (Printf.sprintf "P9: MIL/SIL divergence at step %d on %s"
+           d.Silvm_diff.d_step d.Silvm_diff.d_block));
+  let sil_rate =
+    if diff_report.Silvm_diff.sil_seconds > 0.0 then
+      float_of_int diff_report.Silvm_diff.steps_run
+      /. diff_report.Silvm_diff.sil_seconds
+    else 0.0
+  in
   Obs.set_enabled false;
   let snap = Obs.snapshot () in
-  let doc = Bench_json.bench ~name:"perf" ~steps ~wall_s snap in
+  let extra =
+    [
+      ( "sil_diff",
+        Bench_json.Obj
+          [
+            ("steps", Bench_json.Int diff_report.Silvm_diff.steps_run);
+            ("signals", Bench_json.Int diff_report.Silvm_diff.signals);
+            ("divergences", Bench_json.Int 0);
+            ( "mil_seconds",
+              Bench_json.Float diff_report.Silvm_diff.mil_seconds );
+            ( "sil_seconds",
+              Bench_json.Float diff_report.Silvm_diff.sil_seconds );
+            ("sil_steps_per_s", Bench_json.Float sil_rate);
+          ] );
+    ]
+  in
+  let doc = Bench_json.bench ~name:"perf" ~steps ~wall_s ~extra snap in
   let path = "BENCH_perf.json" in
   Bench_json.write ~path doc;
   (* read back through the parser: the file must stay machine-readable *)
@@ -173,16 +228,19 @@ let bench_json () =
   | _ -> failwith "BENCH_perf.json: missing steps_per_s");
   Printf.printf "P8 static analysis (servo controller): %.1f models checked/s\n"
     (float_of_int checks /. chk_wall);
+  Printf.printf
+    "P9 MIL<->SIL diff (servo, %d signals): %.0f SIL steps/s, 0 divergences\n"
+    diff_report.Silvm_diff.signals sil_rate;
   Printf.printf "wrote %s (git %s)\n\n" path (Bench_json.git_rev ())
 
 let run () =
   print_endline "==================================================================";
-  print_endline "P1-P6, P8: environment performance (bechamel, ns per run)";
+  print_endline "P1-P6, P8-P9: environment performance (bechamel, ns per run)";
   print_endline "==================================================================";
   let tests =
     Test.make_grouped ~name:"perf" ~fmt:"%s %s"
       [ bench_mil; bench_machine; bench_codegen; bench_comm; bench_pid_float;
-        bench_pid_fixed; bench_pil; bench_check ]
+        bench_pid_fixed; bench_pil; bench_check; bench_sil ]
   in
   let cfg =
     Benchmark.cfg ~limit:1500

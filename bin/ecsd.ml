@@ -7,6 +7,7 @@
      ecsd mil       -- closed-loop model-in-the-loop simulation (Fig 7.1)
      ecsd codegen   -- PEERT code generation into a directory
      ecsd pil       -- processor-in-the-loop co-simulation (Fig 6.2)
+     ecsd diff      -- MIL vs SIL differential execution of generated code
      ecsd check     -- static analysis: model advisor, range, ISR, MISRA
      ecsd mcus      -- the supported-MCU database
 *)
@@ -256,6 +257,127 @@ let pil_cmd =
             ~docv:"SECONDS" ~doc:"Control period (default 5 ms; RS-232 limits it).")
           $ fixed_arg $ baud $ periods $ trace_arg $ metrics_arg)
 
+(* ---- diff ---- *)
+
+let diff mcu period fixed model_name steps ulp json trace metrics =
+  with_obs trace metrics @@ fun () ->
+  let cfg = config mcu period fixed in
+  let float_mode = if ulp > 0 then Silvm_diff.Ulp ulp else Silvm_diff.Exact in
+  let name, report =
+    try
+      match model_name with
+      | "servo" ->
+          let built = build_or_fail cfg in
+          let comp = Compile.compile built.Servo_system.controller in
+          let plant = Servo_system.pil_plant built in
+          let driver = Servo_system.pil_driver built in
+          ( "servo",
+            Silvm_diff.run ~steps ~float_mode
+              ~plant:(Silvm_diff.Plant (plant, driver))
+              ~name:"servo" ~project:built.Servo_system.project comp )
+      | "isr-demo" ->
+          let m, project = Check.hazard_demo ~mcu () in
+          let comp = Compile.compile m in
+          (* deterministic sweep across the 12-bit ADC range *)
+          let stimulus k = [| k * 37 mod 4096 |] in
+          ( "isr_demo",
+            Silvm_diff.run ~steps ~float_mode ~stimulus ~name:"isr_demo"
+              ~project comp )
+      | other -> die "unknown model %S (choose servo or isr-demo)" other
+    with Target.Codegen_error msg -> die "code generation failed: %s" msg
+  in
+  let rate t =
+    if t > 0.0 then float_of_int report.Silvm_diff.steps_run /. t else 0.0
+  in
+  Printf.printf "model              : %s\n" name;
+  Printf.printf "signals compared   : %d per step\n" report.Silvm_diff.signals;
+  Printf.printf "steps              : %d / %d\n" report.Silvm_diff.steps_run
+    report.Silvm_diff.steps_requested;
+  Printf.printf "MIL rate           : %.0f steps/s\n"
+    (rate report.Silvm_diff.mil_seconds);
+  Printf.printf "SIL rate           : %.0f steps/s\n"
+    (rate report.Silvm_diff.sil_seconds);
+  (match report.Silvm_diff.divergence with
+  | None -> Printf.printf "result             : zero divergence\n"
+  | Some d ->
+      Printf.printf
+        "result             : DIVERGENCE at step %d (t=%g) on %s port %d\n"
+        d.Silvm_diff.d_step d.Silvm_diff.d_time d.Silvm_diff.d_block
+        d.Silvm_diff.d_port;
+      Printf.printf "                     MIL %s  vs  SIL %s\n"
+        d.Silvm_diff.d_mil d.Silvm_diff.d_sil);
+  (if json then
+     let path = Printf.sprintf "DIFF_%s.json" name in
+     let open Bench_json in
+     let divergence =
+       match report.Silvm_diff.divergence with
+       | None -> Null
+       | Some d ->
+           Obj
+             [
+               ("step", Int d.Silvm_diff.d_step);
+               ("time", Float d.Silvm_diff.d_time);
+               ("block", Str d.Silvm_diff.d_block);
+               ("port", Int d.Silvm_diff.d_port);
+               ("mil", Str d.Silvm_diff.d_mil);
+               ("sil", Str d.Silvm_diff.d_sil);
+             ]
+     in
+     write ~path
+       (Obj
+          [
+            ("name", Str name);
+            ("git_rev", Str (git_rev ()));
+            ("steps_requested", Int report.Silvm_diff.steps_requested);
+            ("steps_run", Int report.Silvm_diff.steps_run);
+            ("signals", Int report.Silvm_diff.signals);
+            ("float_ulp", Int ulp);
+            ("mil_steps_per_s", Float (rate report.Silvm_diff.mil_seconds));
+            ("sil_steps_per_s", Float (rate report.Silvm_diff.sil_seconds));
+            ("divergence", divergence);
+          ]);
+     Printf.printf "JSON report written to %s\n" path);
+  match report.Silvm_diff.divergence with None -> 0 | Some _ -> 1
+
+let diff_cmd =
+  let model_arg =
+    Arg.(
+      value
+      & pos 0 string "servo"
+      & info [] ~docv:"MODEL"
+          ~doc:
+            "Model to diff: $(b,servo) (the controller in closed loop with \
+             the DC-motor plant) or $(b,isr-demo) (ADC event-triggered \
+             function-call group).")
+  in
+  let steps =
+    Arg.(
+      value & opt int 1000
+      & info [ "steps" ] ~docv:"N" ~doc:"Lock-steps to compare (default 1000).")
+  in
+  let ulp =
+    Arg.(
+      value & opt int 0
+      & info [ "ulp" ] ~docv:"N"
+          ~doc:
+            "Tolerate $(docv) representable values of float drift per signal \
+             (default 0: bit-exact IEEE equality).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Also write the report as DIFF_<model>.json.")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "MIL vs SIL differential execution: run the compiled diagram and \
+          the interpreted generated application in lock-step and report the \
+          first diverging block output")
+    Term.(
+      const diff $ mcu_arg $ period_arg $ fixed_arg $ model_arg $ steps $ ulp
+      $ json $ trace_arg $ metrics_arg)
+
 (* ---- analyze ---- *)
 
 let analyze mcu period fixed bg_load =
@@ -475,5 +597,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ inspect_cmd; mil_cmd; codegen_cmd; pil_cmd; check_cmd; simgen_cmd;
-            analyze_cmd; mcus_cmd ]))
+          [ inspect_cmd; mil_cmd; codegen_cmd; pil_cmd; diff_cmd; check_cmd;
+            simgen_cmd; analyze_cmd; mcus_cmd ]))

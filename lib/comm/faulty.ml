@@ -1,0 +1,101 @@
+type config = {
+  corrupt_rate : float;
+  drop_rate : float;
+  dup_rate : float;
+  delay_rate : float;
+  seed : int;
+}
+
+let clean =
+  { corrupt_rate = 0.0; drop_rate = 0.0; dup_rate = 0.0; delay_rate = 0.0;
+    seed = 1 }
+
+type t = {
+  cfg : config;
+  sink : int -> unit;
+  state : int64 ref;
+  mutable held : int option;  (** a byte delayed past its successor *)
+  mutable corrupted : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable delayed : int;
+}
+
+(* SplitMix64, the same deterministic generator the PIL co-simulator
+   uses for line-error injection *)
+let splitmix state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let uniform t =
+  Int64.to_float (Int64.shift_right_logical (splitmix t.state) 11)
+  /. 9007199254740992.0
+
+let bits t n = Int64.to_int (Int64.logand (splitmix t.state) (Int64.of_int (n - 1)))
+
+let create cfg ~sink =
+  {
+    cfg;
+    sink;
+    state = ref (Int64.of_int cfg.seed);
+    held = None;
+    corrupted = 0;
+    dropped = 0;
+    duplicated = 0;
+    delayed = 0;
+  }
+
+let emit t b =
+  t.sink b;
+  (* a held-back byte goes out right after the byte that overtook it *)
+  match t.held with
+  | Some h ->
+      t.held <- None;
+      t.sink h
+  | None -> ()
+
+let send t b =
+  let b =
+    if t.cfg.corrupt_rate > 0.0 && uniform t < t.cfg.corrupt_rate then begin
+      t.corrupted <- t.corrupted + 1;
+      b lxor (1 lsl bits t 8)
+    end
+    else b
+  in
+  if t.cfg.drop_rate > 0.0 && uniform t < t.cfg.drop_rate then
+    t.dropped <- t.dropped + 1
+  else if t.cfg.dup_rate > 0.0 && uniform t < t.cfg.dup_rate then begin
+    t.duplicated <- t.duplicated + 1;
+    emit t b;
+    emit t b
+  end
+  else if
+    t.cfg.delay_rate > 0.0 && t.held = None && uniform t < t.cfg.delay_rate
+  then begin
+    t.delayed <- t.delayed + 1;
+    t.held <- Some b
+  end
+  else emit t b
+
+let send_all t l = List.iter (send t) l
+
+let flush t =
+  match t.held with
+  | Some h ->
+      t.held <- None;
+      t.sink h
+  | None -> ()
+
+let corrupted t = t.corrupted
+let dropped t = t.dropped
+let duplicated t = t.duplicated
+let delayed t = t.delayed

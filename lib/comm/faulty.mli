@@ -1,0 +1,48 @@
+(** Seeded fault injection for the framed RS-232 byte stream.
+
+    Wraps any byte sink with a deterministic noise source: each byte
+    pushed through the wrapper may be bit-corrupted, dropped,
+    duplicated or held back one byte (reordered), with independent
+    per-byte probabilities drawn from a SplitMix64 generator. Every run
+    with the same seed injects the same fault pattern, so a CRC/framer
+    failure found under noise replays exactly.
+
+    This is the line-noise model of the PIL/HIL serial link: use it to
+    prove the CRC16 + framing layer rejects (never mis-parses) damaged
+    frames and recovers on the next clean one. *)
+
+type config = {
+  corrupt_rate : float;  (** probability a byte gets one bit flipped *)
+  drop_rate : float;  (** probability a byte vanishes *)
+  dup_rate : float;  (** probability a byte is sent twice *)
+  delay_rate : float;
+      (** probability a byte is held back and emitted after the
+          following byte (one-byte reorder) *)
+  seed : int;
+}
+
+val clean : config
+(** All rates zero, seed 1: the identity channel. *)
+
+type t
+
+val create : config -> sink:(int -> unit) -> t
+(** [create cfg ~sink] wraps [sink] with the fault model. *)
+
+val send : t -> int -> unit
+(** Push one byte through the channel. *)
+
+val send_all : t -> int list -> unit
+
+val flush : t -> unit
+(** Emit any byte still held back by a delay fault (end of stream). *)
+
+(** Fault counters, for assertions and reporting: *)
+
+val corrupted : t -> int
+
+val dropped : t -> int
+
+val duplicated : t -> int
+
+val delayed : t -> int

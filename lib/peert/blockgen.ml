@@ -8,6 +8,7 @@ type gctx = {
   ins : expr list;
   outs : expr list;
   out_tys : cty list;
+  out_dtypes : Dtype.t list;
   dt : float;
   state : string -> expr;
   ext_in : int -> expr;
@@ -40,6 +41,108 @@ let nothing = { state_fields = []; init = []; step = []; update = []; needs_time
 let in0 g = List.nth g.ins 0
 let out0 g = List.nth g.outs 0
 let oty0 g = List.nth g.out_tys 0
+let odt0 g = List.nth g.out_dtypes 0
+
+(* Helper replicating Value.of_float for a quantised output dtype:
+   round half away from zero, saturate at the type's range, NaN -> 0.
+   The helpers themselves are emitted once per model by the target. *)
+let cast_helper_of_dtype = function
+  | Dtype.Bool -> Some "pe_cast_b"
+  | Dtype.Int8 -> Some "pe_cast_i8"
+  | Dtype.Uint8 -> Some "pe_cast_u8"
+  | Dtype.Int16 -> Some "pe_cast_i16"
+  | Dtype.Uint16 -> Some "pe_cast_u16"
+  | Dtype.Int32 -> Some "pe_cast_i32"
+  | Dtype.Uint32 -> Some "pe_cast_u32"
+  | Dtype.Double | Dtype.Single | Dtype.Fix _ -> None
+
+(* The helper definitions themselves (appended to every generated
+   translation unit that may call them). Round half away from zero,
+   saturate at the dtype's range, NaN maps to zero — C99 round() is
+   exactly OCaml's Float.round, so an output routed through one of
+   these agrees bit for bit with the simulated signal. *)
+let cast_helpers =
+  let mk cname ret lo hi =
+    Func_def
+      (func ~static:true
+         ~comment:"quantise to the output dtype: round to nearest, saturate"
+         ret cname
+         [ (Double_t, "x") ]
+         [
+           Decl (Double_t, "r", Some (call "round" [ Var "x" ]));
+           Decl (ret, "y", Some (Int_lit 0));
+           If
+             ( Bin ("==", Var "r", Var "r"),
+               [
+                 If
+                   ( Bin (">=", Var "r", flt hi),
+                     [ Assign (Var "y", Cast_to (ret, flt hi)) ],
+                     [
+                       If
+                         ( Bin ("<=", Var "r", flt lo),
+                           [ Assign (Var "y", Cast_to (ret, flt lo)) ],
+                           [ Assign (Var "y", Cast_to (ret, Var "r")) ] );
+                     ] );
+               ],
+               [] );
+           Return (Some (Var "y"));
+         ])
+  in
+  [
+    mk "pe_cast_i8" I8 (-128.0) 127.0;
+    mk "pe_cast_u8" U8 0.0 255.0;
+    mk "pe_cast_i16" I16 (-32768.0) 32767.0;
+    mk "pe_cast_u16" U16 0.0 65535.0;
+    mk "pe_cast_i32" I32 (-2147483648.0) 2147483647.0;
+    mk "pe_cast_u32" U32 0.0 4294967295.0;
+    Func_def
+      (func ~static:true ~comment:"boolean output: any non-zero input is true"
+         U8 "pe_cast_b"
+         [ (Double_t, "x") ]
+         [
+           Return
+             (Some
+                (Cast_to
+                   ( U8,
+                     Ternary (Bin ("!=", Var "x", flt 0.0), Int_lit 1, Int_lit 0)
+                   )));
+         ]);
+  ]
+
+(* Emit only the helpers a translation unit actually calls: the plant
+   simulator is compiled host-side with -Werror, where an unused
+   static function is fatal. *)
+let rec calls_in_expr acc = function
+  | Call (f, args) -> List.fold_left calls_in_expr (f :: acc) args
+  | Un (_, e) | Cast_to (_, e) | Field (e, _) | Arrow (e, _) ->
+      calls_in_expr acc e
+  | Bin (_, a, b) | Index (a, b) -> calls_in_expr (calls_in_expr acc a) b
+  | Ternary (a, b, c) ->
+      calls_in_expr (calls_in_expr (calls_in_expr acc a) b) c
+  | Int_lit _ | Hex_lit _ | Float_lit _ | Str_lit _ | Var _ -> acc
+
+let rec calls_in_stmt acc = function
+  | Expr e | Return (Some e) | Decl (_, _, Some e) -> calls_in_expr acc e
+  | Assign (a, b) -> calls_in_expr (calls_in_expr acc a) b
+  | If (c, t, e) ->
+      List.fold_left calls_in_stmt
+        (List.fold_left calls_in_stmt (calls_in_expr acc c) t)
+        e
+  | While (c, b) -> List.fold_left calls_in_stmt (calls_in_expr acc c) b
+  | For (i, c, u, b) ->
+      List.fold_left calls_in_stmt
+        (calls_in_stmt (calls_in_expr (calls_in_stmt acc i) c) u)
+        b
+  | Block b -> List.fold_left calls_in_stmt acc b
+  | Decl (_, _, None) | Return None | Comment _ | Raw _ -> acc
+
+let used_cast_helpers stmts =
+  let used = List.fold_left calls_in_stmt [] stmts in
+  List.filter
+    (function
+      | Func_def f -> List.mem f.fname used
+      | _ -> false)
+    cast_helpers
 
 let time_var = Var "model_time"
 
@@ -292,17 +395,39 @@ let emit_builtin g spec =
   | "MathFn" ->
       { nothing with step = [ Assign (out0 g, call (Param.string ps "fn") [ in0 g ]) ] }
   | "UnitDelay" ->
+      (* MIL stores the next state through Value.cast (round + saturate
+         for integer dtypes); mirror that rather than a raw C cast. *)
+      let store e =
+        match cast_helper_of_dtype (odt0 g) with
+        | Some h -> call h [ e ]
+        | None -> Cast_to (oty0 g, e)
+      in
+      let init_val =
+        match cast_helper_of_dtype (odt0 g) with
+        | Some h -> call h [ flt (pf "init") ]
+        | None -> flt (pf "init")
+      in
       {
         nothing with
         state_fields = [ (oty0 g, "x") ];
-        init = [ Assign (g.state "x", flt (pf "init")) ];
+        init = [ Assign (g.state "x", init_val) ];
         step = [ Assign (out0 g, g.state "x") ];
-        update = [ Assign (g.state "x", Cast_to (oty0 g, in0 g)) ];
+        update = [ Assign (g.state "x", store (in0 g)) ];
       }
   | "DelayN" ->
       let n = Param.int ps "n" in
       if n = 0 then { nothing with step = [ Assign (out0 g, in0 g) ] }
       else
+        let store e =
+          match cast_helper_of_dtype (odt0 g) with
+          | Some h -> call h [ e ]
+          | None -> Cast_to (oty0 g, e)
+        in
+        let zero_elt =
+          match cast_helper_of_dtype (odt0 g) with
+          | Some _ -> Int_lit 0
+          | None -> flt 0.0
+        in
         {
           nothing with
           state_fields = [ (Arr (oty0 g, n), "buf"); (U16, "idx") ];
@@ -313,12 +438,12 @@ let emit_builtin g spec =
                 ( Decl (I32, "i", Some (Int_lit 0)),
                   Bin ("<", Var "i", Int_lit n),
                   Expr (Un ("++", Var "i")),
-                  [ Assign (Index (g.state "buf", Var "i"), flt 0.0) ] );
+                  [ Assign (Index (g.state "buf", Var "i"), zero_elt) ] );
             ];
           step = [ Assign (out0 g, Index (g.state "buf", g.state "idx")) ];
           update =
             [
-              Assign (Index (g.state "buf", g.state "idx"), Cast_to (oty0 g, in0 g));
+              Assign (Index (g.state "buf", g.state "idx"), store (in0 g));
               Assign
                 ( g.state "idx",
                   Cast_to
@@ -349,12 +474,14 @@ let emit_builtin g spec =
         init = [ Assign (g.state "prev", flt 0.0) ];
         step =
           [
+            (* (k * (u - u_prev)) / dt, associated exactly as the
+               simulation computes it so traces match bit for bit *)
             Assign
               ( out0 g,
                 Bin
-                  ( "*",
-                    flt (pf "k" /. g.dt),
-                    Bin ("-", in0 g, g.state "prev") ) );
+                  ( "/",
+                    Bin ("*", flt (pf "k"), Bin ("-", in0 g, g.state "prev")),
+                    flt g.dt ) );
           ];
         update = [ Assign (g.state "prev", in0 g) ];
       }
@@ -409,7 +536,7 @@ let emit_builtin g spec =
       let d_expr =
         if kd = 0.0 then flt 0.0
         else if nf = 0.0 then
-          Bin ("*", flt (kd /. ts), Bin ("-", e, g.state "e_prev"))
+          Bin ("/", Bin ("*", flt kd, Bin ("-", e, g.state "e_prev")), flt ts)
         else
           Bin
             ( "/",
@@ -691,12 +818,14 @@ let emit_builtin g spec =
             Decl
               ( I16, g.name ^ "_dc",
                 Some (Cast_to (I16, Bin ("-", in0 g, g.state "prev"))) );
+            (* ((double)dc * k) / dt, associated as the simulation does *)
             Assign
               ( out0 g,
                 Bin
-                  ( "*",
-                    flt (k /. g.dt),
-                    Cast_to (Double_t, Var (g.name ^ "_dc")) ) );
+                  ( "/",
+                    Bin
+                      ("*", Cast_to (Double_t, Var (g.name ^ "_dc")), flt k),
+                    flt g.dt ) );
             Assign (g.state "prev", Cast_to (I32, in0 g));
           ];
       }
@@ -887,27 +1016,48 @@ let emit_builtin g spec =
           })
   | "PE_Pwm" -> (
       let bean = bean_of ps in
+      let period_counts = Param.int ps "period_counts" in
+      (* SetRatio16 semantics including the integer duty counter: the
+         realised duty is quantised by the PWM period register, exactly
+         as the simulation bean models it *)
+      let r = Var (g.name ^ "_r") and dc = Var (g.name ^ "_dc") in
+      let echo write_stmts =
+        [ Decl (I32, g.name ^ "_r", Some (Cast_to (I32, in0 g))) ]
+        @ clamp_stmts_int r 0 65535
+        @ write_stmts
+        @ [
+            Decl
+              ( I32, g.name ^ "_dc",
+                Some
+                  (Bin
+                     ( "/",
+                       Bin ("*", r, Int_lit period_counts),
+                       Int_lit 65535 )) );
+            Assign
+              ( out0 g,
+                Bin
+                  ( "/",
+                    Cast_to (Double_t, dc),
+                    flt (float_of_int period_counts) ) );
+          ]
+      in
       match g.mode with
       | Hw ->
           {
             nothing with
-            step =
-              [
-                Expr (call (bean ^ "_SetRatio16") [ Cast_to (U16, in0 g) ]);
-                Assign (out0 g, Bin ("/", Cast_to (Double_t, in0 g), flt 65535.0));
-              ];
+            step = echo [ Expr (call (bean ^ "_SetRatio16") [ Cast_to (U16, r) ]) ];
           }
       | Pil ->
           {
             nothing with
             step =
-              [
-                Comment "PIL: peripheral write redirected to the comm buffer";
-                Assign
-                  ( Index (Var "pil_actuator_buf", Int_lit (pil_slot_exn g)),
-                    Cast_to (U16, in0 g) );
-                Assign (out0 g, Bin ("/", Cast_to (Double_t, in0 g), flt 65535.0));
-              ];
+              echo
+                [
+                  Comment "PIL: peripheral write redirected to the comm buffer";
+                  Assign
+                    ( Index (Var "pil_actuator_buf", Int_lit (pil_slot_exn g)),
+                      Cast_to (U16, r) );
+                ];
           })
   | "PE_FreeCntr" -> (
       let bean = bean_of ps in
@@ -922,34 +1072,41 @@ let emit_builtin g spec =
   | "PE_Dac" -> (
       let bean = bean_of ps in
       let vref = pf "vref" and max_code = Param.int ps "max_code" in
+      (* clamp the code into the converter's range before writing, as
+         the simulation bean does *)
+      let r = Var (g.name ^ "_r") in
+      let echo write_stmts =
+        [ Decl (I32, g.name ^ "_r", Some (Cast_to (I32, in0 g))) ]
+        @ clamp_stmts_int r 0 max_code
+        @ write_stmts
+        @ [
+            Assign
+              ( out0 g,
+                Bin
+                  ( "*",
+                    Bin
+                      ( "/",
+                        Cast_to (Double_t, r),
+                        flt (float_of_int max_code) ),
+                    flt vref ) );
+          ]
+      in
       match g.mode with
       | Hw ->
           {
             nothing with
-            step =
-              [
-                Expr (call (bean ^ "_SetValue") [ Cast_to (U16, in0 g) ]);
-                Assign
-                  ( out0 g,
-                    Bin ("*", Bin ("/", Cast_to (Double_t, in0 g),
-                                   flt (float_of_int max_code)),
-                         flt vref) );
-              ];
+            step = echo [ Expr (call (bean ^ "_SetValue") [ Cast_to (U16, r) ]) ];
           }
       | Pil ->
           {
             nothing with
             step =
-              [
-                Assign
-                  ( Index (Var "pil_actuator_buf", Int_lit (pil_slot_exn g)),
-                    Cast_to (U16, in0 g) );
-                Assign
-                  ( out0 g,
-                    Bin ("*", Bin ("/", Cast_to (Double_t, in0 g),
-                                   flt (float_of_int max_code)),
-                         flt vref) );
-              ];
+              echo
+                [
+                  Assign
+                    ( Index (Var "pil_actuator_buf", Int_lit (pil_slot_exn g)),
+                      Cast_to (U16, r) );
+                ];
           })
   | "PE_QuadDec" -> (
       let bean = bean_of ps in
@@ -1153,10 +1310,66 @@ let emit_builtin g spec =
            (Printf.sprintf
               "block kind %s has no embedded realisation (plant-side block?)" kind))
 
+(* MIL quantises every integer/Bool-typed block output through
+   Value.of_float (round half away from zero, saturate); a plain C
+   assignment of a double expression would truncate and wrap instead.
+   Route non-trivial right-hand sides through the matching pe_cast_*
+   helper so the generated step agrees with the simulation bit for
+   bit. Pure copies (already-typed fields) and integer literals are
+   exact and stay untouched; a top-level cast to the output type is
+   replaced rather than wrapped, as casting first would truncate
+   before the helper can round. *)
+let rec is_copy_expr = function
+  | Var _ -> true
+  | Field (e, _) | Arrow (e, _) -> is_copy_expr e
+  | Index (e, _) -> is_copy_expr e
+  | _ -> false
+
+let quantized_rhs dt rhs =
+  match cast_helper_of_dtype dt with
+  | None -> rhs
+  | Some h -> (
+      match rhs with
+      | Cast_to (ty, e) when ty = cty_of_dtype dt -> call h [ e ]
+      | Int_lit _ | Hex_lit _ -> rhs
+      | e when is_copy_expr e -> e
+      | e -> call h [ e ])
+
+let quantize_outputs g gen =
+  let out_dtype_of lv =
+    let rec find outs dts =
+      match (outs, dts) with
+      | o :: _, dt :: _ when o = lv -> Some dt
+      | _ :: os, _ :: ds -> find os ds
+      | _ -> None
+    in
+    find g.outs g.out_dtypes
+  in
+  let rec rw_stmt = function
+    | Assign (lv, rhs) -> (
+        match out_dtype_of lv with
+        | Some dt -> Assign (lv, quantized_rhs dt rhs)
+        | None -> Assign (lv, rhs))
+    | If (c, t, e) -> If (c, List.map rw_stmt t, List.map rw_stmt e)
+    | For (i, c, u, b) -> For (i, c, u, List.map rw_stmt b)
+    | While (c, b) -> While (c, List.map rw_stmt b)
+    | Block b -> Block (List.map rw_stmt b)
+    | s -> s
+  in
+  {
+    gen with
+    init = List.map rw_stmt gen.init;
+    step = List.map rw_stmt gen.step;
+    update = List.map rw_stmt gen.update;
+  }
+
 let emit g spec =
-  match Hashtbl.find_opt custom spec.Block.kind with
-  | Some f -> f g spec
-  | None -> emit_builtin g spec
+  let gen =
+    match Hashtbl.find_opt custom spec.Block.kind with
+    | Some f -> f g spec
+    | None -> emit_builtin g spec
+  in
+  quantize_outputs g gen
 
 let supported spec =
   if Hashtbl.mem custom spec.Block.kind then true

@@ -53,7 +53,8 @@ let generate ~name ?(baud = 115200) ?n_sensors ?n_actuators ?sim_step comp =
           n_out_ports :=
             Stdlib.max !n_out_ports (Param.int spec.Block.params "index" + 1)
       | _ -> ());
-      let out_tys = Array.to_list (Array.map cty_of comp.Compile.out_types.(bi)) in
+      let out_dtypes = Array.to_list comp.Compile.out_types.(bi) in
+      let out_tys = List.map cty_of out_dtypes in
       List.iteri (fun p ty -> b_fields := (ty, sig_field b p) :: !b_fields) out_tys;
       let gctx =
         {
@@ -62,6 +63,7 @@ let generate ~name ?(baud = 115200) ?n_sensors ?n_actuators ?sim_step comp =
           ins = Array.to_list (Array.map sig_expr srcs.(bi));
           outs = List.init spec.Block.n_out (fun p -> sig_expr (b, p));
           out_tys;
+          out_dtypes;
           dt;
           state = (fun f -> Field (Var dw_struct, bname b ^ "_" ^ f));
           ext_in = (fun i -> Field (Var u_struct, Printf.sprintf "in%d" i));
@@ -120,6 +122,9 @@ let generate ~name ?(baud = 115200) ?n_sensors ?n_actuators ?sim_step comp =
                    volatile = false; static = false };
           Global { gty = Double_t; gname = "model_time"; ginit = Some (flt 0.0);
                    volatile = false; static = true };
+        ]
+        @ Blockgen.used_cast_helpers (!init_stmts @ !step_stmts @ !update_stmts)
+        @ [
           Func_def
             (func ~comment:"plant initial conditions" Void
                (name ^ "_plant_initialize") []

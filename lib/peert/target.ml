@@ -176,9 +176,8 @@ let generate ?(mode = Blockgen.Hw) ~name ~project comp =
     (fun b ->
       let spec = Model.spec_of m b in
       let bi = Model.blk_index b in
-      let out_tys =
-        Array.to_list (Array.map cty_of_dtype comp.Compile.out_types.(bi))
-      in
+      let out_dtypes = Array.to_list comp.Compile.out_types.(bi) in
+      let out_tys = List.map cty_of_dtype out_dtypes in
       List.iteri
         (fun p ty -> b_fields := (ty, sig_field b p) :: !b_fields)
         out_tys;
@@ -196,6 +195,7 @@ let generate ?(mode = Blockgen.Hw) ~name ~project comp =
           ins;
           outs;
           out_tys;
+          out_dtypes;
           dt;
           state = (fun f -> Field (Var dw_struct, bname b ^ "_" ^ f));
           ext_in = (fun i -> Field (Var u_struct, Printf.sprintf "in%d" i));
@@ -404,6 +404,15 @@ let generate ?(mode = Blockgen.Hw) ~name ~project comp =
                         ginit = Some (flt 0.0); volatile = false; static = true } ]
            else [])
         @ fix_helpers
+        @ Blockgen.used_cast_helpers
+            (!init_stmts @ !const_stmts @ step_body
+            @ List.concat_map
+                (fun (_, order) ->
+                  List.concat_map
+                    (fun b ->
+                      (gen_of b).Blockgen.step @ (gen_of b).Blockgen.update)
+                    (Array.to_list order))
+                comp.Compile.group_order)
         @ [
             Func_def
               (func ~comment:"model initialisation: states and constant blocks"

@@ -50,8 +50,8 @@ let splitmix state =
   Int64.logxor z (Int64.shift_right_logical z 31)
 
 let run ?(baud = 115200) ?(rx_isr_cycles = 80) ?(tx_isr_cycles = 40)
-    ?(preemptive = false) ?(error_rate = 0.0) ?(seed = 1) ~mcu ~schedule
-    ~controller ~plant ~driver ~periods () =
+    ?(preemptive = false) ?(error_rate = 0.0) ?(seed = 1) ?(dup_frames = false)
+    ~mcu ~schedule ~controller ~plant ~driver ~periods () =
   Obs.span "pil.run" @@ fun () ->
   let comp = Sim.compiled controller in
   let m = comp.Compile.model in
@@ -131,9 +131,19 @@ let run ?(baud = 115200) ?(rx_isr_cycles = 80) ?(tx_isr_cycles = 40)
   let latencies = ref [] in
   let period_index = ref 0 in
   let target_pending = ref None in
+  (* the target accepts one step per sequence number: a frame the line
+     duplicated (or the host retransmitted) must not step the
+     controller twice *)
+  let last_rx_seq = ref (-1) in
   let target_framer =
     Framer.create ~on_packet:(fun pkt ->
-        if pkt.Packet.ptype = Packet.ptype_sensor then target_pending := Some pkt)
+        if
+          pkt.Packet.ptype = Packet.ptype_sensor
+          && pkt.Packet.seq <> !last_rx_seq
+        then begin
+          last_rx_seq := pkt.Packet.seq;
+          target_pending := Some pkt
+        end)
   in
   let rx_irq =
   let do_step pkt =
@@ -213,12 +223,14 @@ let run ?(baud = 115200) ?(rx_isr_cycles = 80) ?(tx_isr_cycles = 40)
         (Array.fold_left (fun acc v -> Packet.push_u16 v acc) [] sensors)
     in
     let pkt = { Packet.ptype = Packet.ptype_sensor; seq = k land 0xFF; payload } in
+    let wire = Packet.encode pkt in
+    let wire = if dup_frames then wire @ wire else wire in
     List.iteri
       (fun i b ->
         let b = corrupt b in
         Machine.schedule_at machine ~cycle:(t_k + (i * byte_cycles)) (fun () ->
             Sci_periph.deliver_byte sci b))
-      (Packet.encode pkt);
+      wire;
     (* let the period elapse on the target *)
     Machine.advance_to machine ~cycle:(t_k + period_cycles);
     (match !pending_actuators with

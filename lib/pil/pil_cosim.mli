@@ -54,6 +54,7 @@ val run :
   ?preemptive:bool ->
   ?error_rate:float ->
   ?seed:int ->
+  ?dup_frames:bool ->
   mcu:Mcu_db.t ->
   schedule:Target.schedule ->
   controller:Sim.t ->
@@ -65,8 +66,11 @@ val run :
 (** Run [periods] control periods. [baud] defaults to 115200 (the
     paper's RS-232 link; sweep it for experiment E5). [error_rate] is a
     per-byte corruption probability on the line (deterministic PRNG with
-    [seed]), exercising the CRC path. [preemptive] configures the
-    interrupt controller (E7 ablation).
+    [seed]), exercising the CRC path. [dup_frames] transmits every
+    sensor frame twice, exercising the target's sequence-number
+    deduplication (a duplicated frame must not step the controller
+    twice). [preemptive] configures the interrupt controller (E7
+    ablation).
     @raise Invalid_argument when a period cannot even carry the two
     packets at the given baud rate (the feasibility boundary — the error
     message carries the minimum period). *)

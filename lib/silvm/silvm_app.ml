@@ -1,0 +1,130 @@
+(* Load a PEERT-generated application into the interpreter and drive it.
+
+   The PIL variant of the generated code is the natural SIL subject:
+   its peripheral reads and writes are redirected to the
+   [pil_sensor_buf]/[pil_actuator_buf] exchange buffers (§6), which
+   become the stimulus/observation ports of the virtual machine -- the
+   same role the RS-232 link plays in a real PIL run, without the
+   target hardware. *)
+
+type t = {
+  interp : Silvm_interp.t;
+  name : string;
+  comp : Compile.t;
+  arts : Target.artifacts;
+  events : (int * string) list;
+      (** rate divisor, group function to fire after the step (bean
+          event ISRs; fired at the event block's rate, mirroring the
+          immediate-and-atomic group execution of the MIL engine) *)
+  mutable steps : int;
+  mutable time : float;
+}
+
+let sanitized_field b p m =
+  Printf.sprintf "%s_o%d" (Blockgen.sanitize (Model.block_name m b)) p
+
+let divisor comp b =
+  match comp.Compile.sample.(Model.blk_index b) with
+  | Sample_time.R_discrete { period; _ } ->
+      Some (int_of_float (Float.round (period /. comp.Compile.base_dt)))
+  | _ -> None
+
+let create ?(mode = Blockgen.Pil) ~name ~project comp =
+  let arts = Target.generate ~mode ~name ~project comp in
+  let interp = Silvm_interp.create () in
+  Silvm_interp.add_unit interp arts.Target.model_h;
+  Silvm_interp.add_unit interp arts.Target.model_c;
+  let m = comp.Compile.model in
+  (* free-running counter beans read the clock through an external *)
+  let app =
+    {
+      interp;
+      name;
+      comp;
+      arts;
+      events = [];
+      steps = 0;
+      time = 0.0;
+    }
+  in
+  List.iter
+    (fun b ->
+      let spec = Model.spec_of m b in
+      if String.equal spec.Block.kind "PE_FreeCntr" then
+        match
+          ( List.assoc_opt "bean" spec.Block.params,
+            List.assoc_opt "tick" spec.Block.params )
+        with
+        | Some (Param.String bean), Some (Param.Float tick) ->
+            Silvm_interp.register_external interp (bean ^ "_GetCounterValue")
+              (fun _ ->
+                let count =
+                  int_of_float (Float.floor (app.time /. tick)) land 0xFFFF
+                in
+                Silvm_value.of_int
+                  { Silvm_value.bits = 16; signed = false }
+                  count)
+        | _ -> ())
+    (Model.blocks m);
+  (* bean events wired to function-call groups: the generated ISR body
+     is a call to the group function *)
+  let events =
+    List.concat_map
+      (fun b ->
+        let spec = Model.spec_of m b in
+        List.init (Array.length spec.Block.event_outs) (fun i -> i)
+        |> List.filter_map (fun i ->
+               match Model.event_target m (b, i) with
+               | Some g ->
+                   let fn =
+                     Printf.sprintf "%s_%s" name
+                       (Blockgen.sanitize (Model.group_name m g))
+                   in
+                   if Silvm_interp.has_func interp fn then
+                     Option.map (fun d -> (d, fn)) (divisor comp b)
+                   else None
+               | None -> None))
+      (Model.blocks m)
+  in
+  { app with events }
+
+let initialize app =
+  app.steps <- 0;
+  app.time <- 0.0;
+  ignore (Silvm_interp.call app.interp (app.name ^ "_initialize") [])
+
+(* one base-rate step: the periodic part, then the ISR groups of every
+   bean event that fired in this period *)
+let step app =
+  ignore (Silvm_interp.call app.interp (app.name ^ "_step") []);
+  List.iter
+    (fun (d, fn) ->
+      if app.steps mod d = 0 then ignore (Silvm_interp.call app.interp fn []))
+    app.events;
+  app.steps <- app.steps + 1;
+  app.time <- app.time +. app.comp.Compile.base_dt
+
+let set_sensor app slot v =
+  Silvm_interp.write app.interp
+    (C_ast.Index (C_ast.Var "pil_sensor_buf", C_ast.Int_lit slot))
+    (Silvm_value.of_int { Silvm_value.bits = 16; signed = false } v)
+
+let actuator app slot =
+  Silvm_value.to_int
+    (Silvm_interp.read app.interp
+       (C_ast.Index (C_ast.Var "pil_actuator_buf", C_ast.Int_lit slot)))
+
+let set_input app i x =
+  Silvm_interp.write app.interp
+    (C_ast.Field (C_ast.Var (app.name ^ "_U"), Printf.sprintf "in%d" i))
+    (Silvm_value.VF x)
+
+(* the block-I/O structure field carrying a block output signal *)
+let signal app (b, p) =
+  Silvm_interp.read app.interp
+    (C_ast.Field
+       ( C_ast.Var (app.name ^ "_B"),
+         sanitized_field b p app.comp.Compile.model ))
+
+let schedule app = app.arts.Target.schedule
+let stmts_executed app = Silvm_interp.stmts_executed app.interp

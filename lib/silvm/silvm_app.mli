@@ -1,0 +1,43 @@
+(** A PEERT-generated application loaded into the SIL interpreter.
+
+    The PIL variant of the generated code is the natural SIL subject:
+    its peripheral reads and writes are redirected to the
+    [pil_sensor_buf]/[pil_actuator_buf] exchange buffers (§6), which
+    become the stimulus/observation ports of the virtual machine — the
+    same role the RS-232 link plays in a real PIL run, without the
+    target hardware. *)
+
+type t
+
+val create :
+  ?mode:Blockgen.mode -> name:string -> project:Bean_project.t -> Compile.t -> t
+(** Generate the application for [comp] (default PIL variant), load the
+    whole translation set into a fresh interpreter and wire up the
+    free-running-counter bean externals.
+    @raise Target.Codegen_error when generation fails. *)
+
+val initialize : t -> unit
+(** Call [<name>_initialize ()]. *)
+
+val step : t -> unit
+(** Call [<name>_step ()], then fire every event-wired group function
+    whose rate divisor divides the step count (mirroring the
+    immediate-and-atomic group execution of the MIL engine), and
+    advance the application clock by one base period. *)
+
+val set_sensor : t -> int -> int -> unit
+(** [set_sensor app slot v] stores the raw 16-bit value [v] into
+    [pil_sensor_buf[slot]]. *)
+
+val actuator : t -> int -> int
+(** [actuator app slot] reads [pil_actuator_buf[slot]]. *)
+
+val set_input : t -> int -> float -> unit
+(** [set_input app i x] writes the Inport field [<name>_U.in<i>]. *)
+
+val signal : t -> Model.blk * int -> Silvm_value.t
+(** [signal app (b, p)] reads the block-output field
+    [<name>_B.<block>_o<p>] of the generated signals structure. *)
+
+val schedule : t -> Target.schedule
+val stmts_executed : t -> int

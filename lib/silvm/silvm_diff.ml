@@ -1,0 +1,161 @@
+(* MIL <-> SIL differential execution.
+
+   Runs the same compiled diagram through the simulation engine and
+   through the interpreted generated application in lock-step, feeding
+   both the identical sensor stimulus each control period, and reports
+   the first step/signal where they disagree. This is the back-to-back
+   model-versus-code check the paper's MIL->PIL chain implies but never
+   mechanises: every block output of every step is compared, so a
+   codegen bug surfaces with the block name and both values in hand. *)
+
+type float_mode =
+  | Exact  (** IEEE equality; +0/-0 identified, NaN equal to NaN *)
+  | Ulp of int  (** tolerate a few representable values of drift *)
+
+type divergence = {
+  d_step : int;
+  d_time : float;
+  d_block : string;
+  d_port : int;
+  d_mil : string;
+  d_sil : string;
+}
+
+type report = {
+  steps_run : int;  (** lock-steps completed without divergence *)
+  steps_requested : int;
+  signals : int;  (** block output signals compared per step *)
+  divergence : divergence option;
+  mil_seconds : float;
+  sil_seconds : float;
+}
+
+(* a plant plus its PIL driver, packaged so heterogeneous plants fit
+   one argument *)
+type plant = Plant : 'p * 'p Pil_cosim.plant_driver -> plant
+
+let ulp_key x =
+  let b = Int64.bits_of_float x in
+  if Int64.compare b 0L < 0 then Int64.sub Int64.min_int b else b
+
+let ulp_dist a b =
+  let d = Int64.sub (ulp_key a) (ulp_key b) in
+  Int64.abs d
+
+let floats_agree mode a b =
+  (Float.is_nan a && Float.is_nan b)
+  || a = b
+  || match mode with Exact -> false | Ulp n -> ulp_dist a b <= Int64.of_int n
+
+let values_agree mode mil sil =
+  match mil with
+  | Value.B b -> Silvm_value.truth sil = b
+  | Value.I (_, i) -> Silvm_value.to_int64 sil = Int64.of_int i
+  | Value.X _ -> Silvm_value.to_int64 sil = Int64.of_int (Value.to_int mil)
+  | Value.F x -> (
+      match sil with
+      | Silvm_value.VF y -> floats_agree mode x y
+      | Silvm_value.VI _ -> floats_agree mode x (Silvm_value.to_float sil))
+
+let mil_to_string = function
+  | Value.F x -> Printf.sprintf "%.17g" x
+  | Value.I (dt, i) -> Printf.sprintf "%d:%s" i (Dtype.to_string dt)
+  | Value.B b -> string_of_bool b
+  | Value.X f -> Printf.sprintf "fix:%d" (Fixed.raw f)
+
+(* every block output signal present in the generated block-I/O
+   structure: the periodic population plus the function-call groups *)
+let compared_signals comp =
+  let m = comp.Compile.model in
+  let blocks =
+    Array.to_list comp.Compile.order
+    @ List.concat_map
+        (fun (_, arr) -> Array.to_list arr)
+        comp.Compile.group_order
+  in
+  List.concat_map
+    (fun b ->
+      let spec = Model.spec_of m b in
+      List.init spec.Block.n_out (fun p -> (b, p)))
+    blocks
+
+let inject sim app schedule sensors =
+  let m = (Sim.compiled sim).Compile.model in
+  List.iter
+    (fun (b, slot) ->
+      let v = sensors.(slot) in
+      let value =
+        match (Model.spec_of m b).Block.kind with
+        | "PE_Adc" | "AR_Adc" -> Value.of_int Dtype.Uint16 v
+        | "PE_QuadDec" | "AR_Icu" -> Value.of_int Dtype.Int32 v
+        | "PE_BitIO_In" | "AR_Dio_In" -> Value.of_bool (v <> 0)
+        | k -> failwith ("Silvm_diff: unexpected sensor block kind " ^ k)
+      in
+      Sim.override_output sim (b, 0) (Some value);
+      Silvm_app.set_sensor app slot v)
+    schedule.Target.sensor_slots
+
+exception Stop of divergence
+
+let run ?(steps = 1000) ?(float_mode = Exact) ?plant ?stimulus ~name ~project
+    comp =
+  Obs.span "silvm.diff" @@ fun () ->
+  let sim = Sim.create comp in
+  let app = Silvm_app.create ~name ~project comp in
+  Silvm_app.initialize app;
+  let sched = Silvm_app.schedule app in
+  let n_act = List.length sched.Target.actuator_slots in
+  let signals = compared_signals comp in
+  let m = comp.Compile.model in
+  let base = comp.Compile.base_dt in
+  let mil_t = ref 0.0 and sil_t = ref 0.0 in
+  let steps_done = ref 0 in
+  let result =
+    try
+      for k = 0 to steps - 1 do
+        let time = float_of_int k *. base in
+        (match plant, stimulus with
+        | Some (Plant (p, d)), _ -> inject sim app sched (d.Pil_cosim.read_sensors p ~time)
+        | None, Some f -> inject sim app sched (f k)
+        | None, None -> ());
+        let t0 = Sys.time () in
+        Sim.step sim;
+        mil_t := !mil_t +. (Sys.time () -. t0);
+        let t1 = Sys.time () in
+        Silvm_app.step app;
+        sil_t := !sil_t +. (Sys.time () -. t1);
+        List.iter
+          (fun (b, p) ->
+            let mil = Sim.value sim (b, p) in
+            let sil = Silvm_app.signal app (b, p) in
+            if not (values_agree float_mode mil sil) then
+              raise
+                (Stop
+                   {
+                     d_step = k;
+                     d_time = time;
+                     d_block = Model.block_name m b;
+                     d_port = p;
+                     d_mil = mil_to_string mil;
+                     d_sil = Silvm_value.to_string sil;
+                   }))
+          signals;
+        incr steps_done;
+        match plant with
+        | Some (Plant (p, d)) ->
+            let acts = Array.init n_act (Silvm_app.actuator app) in
+            d.Pil_cosim.apply_actuators p acts;
+            d.Pil_cosim.advance p ~dt:base
+        | None -> ()
+      done;
+      None
+    with Stop d -> Some d
+  in
+  {
+    steps_run = !steps_done;
+    steps_requested = steps;
+    signals = List.length signals;
+    divergence = result;
+    mil_seconds = !mil_t;
+    sil_seconds = !sil_t;
+  }

@@ -1,0 +1,183 @@
+(* C scalar values for the SIL interpreter.
+
+   The generated application is C99 on an ILP32 target (int = long =
+   32 bit, long long = 64 bit); the interpreter reproduces that
+   arithmetic exactly: integer promotion to int, the usual arithmetic
+   conversions, modular wrap-around at the operation width, truncating
+   division, and arithmetic right shift on signed operands. Integers
+   are carried as a canonical [int64]: sign-extended when the C type is
+   signed, zero-extended (hence non-negative) when unsigned. *)
+
+type ity = { bits : int; signed : bool }
+
+type t =
+  | VI of ity * int64
+  | VF of float
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let i32ty = { bits = 32; signed = true }
+let u32ty = { bits = 32; signed = false }
+let i64ty = { bits = 64; signed = true }
+
+(* canonical form: wrap [x] into the value range of [ity] *)
+let normalize ity x =
+  if ity.bits >= 64 then x
+  else
+    let w = Int64.shift_left 1L ity.bits in
+    let v = Int64.logand x (Int64.sub w 1L) in
+    if ity.signed && Int64.logand v (Int64.shift_left 1L (ity.bits - 1)) <> 0L
+    then Int64.sub v w
+    else v
+
+let of_int ity x = VI (ity, normalize ity (Int64.of_int x))
+let of_int64 ity x = VI (ity, normalize ity x)
+
+let to_float = function
+  | VF x -> x
+  | VI (_, v) -> Int64.to_float v
+
+let to_int64 = function
+  | VI (_, v) -> v
+  | VF x -> if Float.is_nan x then 0L else Int64.of_float (Float.trunc x)
+
+let to_int v = Int64.to_int (to_int64 v)
+
+let truth = function
+  | VF x -> x <> 0.0
+  | VI (_, v) -> v <> 0L
+
+let vbool b = VI (i32ty, if b then 1L else 0L)
+
+(* C cast of a float to an integer type: truncate toward zero; the
+   out-of-range/NaN cases are UB in C -- pick the deterministic choice
+   of NaN -> 0 and modular wrap, which the generated code never relies
+   on (quantisation goes through the guarded pe_cast_* helpers). *)
+let of_float_trunc ity x =
+  if Float.is_nan x then VI (ity, 0L)
+  else VI (ity, normalize ity (Int64.of_float (Float.trunc x)))
+
+(* integer promotion: everything narrower than int becomes int *)
+let promote = function
+  | VI (ity, v) when ity.bits < 32 -> VI (i32ty, v)
+  | v -> v
+
+(* usual arithmetic conversions for two promoted integer operands *)
+let common_ity a b =
+  if a = b then a
+  else if a.signed = b.signed then if a.bits >= b.bits then a else b
+  else
+    let s, u = if a.signed then (a, b) else (b, a) in
+    if u.bits >= s.bits then u
+      (* unsigned rank >= signed rank: unsigned wins *)
+    else s (* the signed type can represent all values of the narrower
+              unsigned type (i64 vs u32) *)
+
+let pair_ints a b =
+  match (promote a, promote b) with
+  | VI (ta, va), VI (tb, vb) ->
+      let t = common_ity ta tb in
+      (t, normalize t va, normalize t vb)
+  | _ -> assert false
+
+let int_arith op a b =
+  let t, x, y = pair_ints a b in
+  VI (t, normalize t (op x y))
+
+let int_div a b =
+  let t, x, y = pair_ints a b in
+  if y = 0L then err "division by zero";
+  (* Int64.div truncates toward zero, matching C99 *)
+  VI (t, normalize t (Int64.div x y))
+
+let int_rem a b =
+  let t, x, y = pair_ints a b in
+  if y = 0L then err "remainder by zero";
+  VI (t, normalize t (Int64.rem x y))
+
+let shift dir a b =
+  let a = promote a in
+  let n = Int64.to_int (to_int64 b) in
+  match a with
+  | VI (t, v) ->
+      if n < 0 || n >= t.bits then err "shift count %d out of range" n;
+      let r =
+        match dir with
+        | `L -> Int64.shift_left v n
+        | `R ->
+            if t.signed then Int64.shift_right v n
+            else Int64.shift_right_logical (normalize t v) n
+      in
+      VI (t, normalize t r)
+  | VF _ -> err "shift of a float operand"
+
+let bitop op a b =
+  let t, x, y = pair_ints a b in
+  VI (t, normalize t (op x y))
+
+let compare_vals a b =
+  match (a, b) with
+  | VF _, _ | _, VF _ -> Float.compare (to_float a) (to_float b)
+  | VI _, VI _ ->
+      let _, x, y = pair_ints a b in
+      Int64.compare x y
+
+let binop op a b =
+  match (op, a, b) with
+  | _, VF _, _ | _, _, VF _ -> (
+      let x = to_float a and y = to_float b in
+      match op with
+      | "+" -> VF (x +. y)
+      | "-" -> VF (x -. y)
+      | "*" -> VF (x *. y)
+      | "/" -> VF (x /. y)
+      | "<" -> vbool (x < y)
+      | "<=" -> vbool (x <= y)
+      | ">" -> vbool (x > y)
+      | ">=" -> vbool (x >= y)
+      | "==" -> vbool (x = y)
+      | "!=" -> vbool (x <> y)
+      | _ -> err "operator %s on float operands" op)
+  | "+", _, _ -> int_arith Int64.add a b
+  | "-", _, _ -> int_arith Int64.sub a b
+  | "*", _, _ -> int_arith Int64.mul a b
+  | "/", _, _ -> int_div a b
+  | "%", _, _ -> int_rem a b
+  | "<<", _, _ -> shift `L a b
+  | ">>", _, _ -> shift `R a b
+  | "&", _, _ -> bitop Int64.logand a b
+  | "|", _, _ -> bitop Int64.logor a b
+  | "^", _, _ -> bitop Int64.logxor a b
+  | ("<" | "<=" | ">" | ">=" | "==" | "!="), _, _ ->
+      let c = compare_vals a b in
+      vbool
+        (match op with
+        | "<" -> c < 0
+        | "<=" -> c <= 0
+        | ">" -> c > 0
+        | ">=" -> c >= 0
+        | "==" -> c = 0
+        | _ -> c <> 0)
+  | _ -> err "unknown binary operator %s" op
+
+let unop op v =
+  match (op, v) with
+  | "-", VF x -> VF (-.x)
+  | "-", VI _ -> (
+      match promote v with
+      | VI (t, x) -> VI (t, normalize t (Int64.neg x))
+      | _ -> assert false)
+  | "+", _ -> promote v
+  | "!", _ -> vbool (not (truth v))
+  | "~", VI _ -> (
+      match promote v with
+      | VI (t, x) -> VI (t, normalize t (Int64.lognot x))
+      | _ -> assert false)
+  | _ -> err "unary operator %s on this operand" op
+
+let to_string = function
+  | VF x -> Printf.sprintf "%.17g" x
+  | VI (t, v) ->
+      Printf.sprintf "%Ld:%c%d" v (if t.signed then 'i' else 'u') t.bits

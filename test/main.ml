@@ -28,4 +28,5 @@ let () =
       ("obs", Test_obs.suite);
       ("sim-golden", Test_sim_golden.suite);
       ("analysis", Test_analysis.suite);
+      ("silvm", Test_silvm.suite);
     ]

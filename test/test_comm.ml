@@ -134,6 +134,128 @@ let prop_byte_at_a_time =
       List.iter (fun b -> Framer.feed f b) (Packet.encode pkt);
       !got = Some pkt)
 
+(* ---- fault injection through the Faulty channel wrapper ---- *)
+
+(* payload derived from the sequence number, so a delivered packet can
+   be checked against what was actually sent *)
+let pattern_packet seq =
+  {
+    Packet.ptype = Packet.ptype_sensor;
+    seq = seq land 0xFF;
+    payload = List.init 6 (fun i -> ((seq * 7) + (i * 31)) land 0xFF);
+  }
+
+let is_genuine p = p = pattern_packet p.Packet.seq
+
+(* acceptance bar: >= 1e5 frames at 1% per-byte corruption, and not one
+   of them mis-parses -- every delivered packet is byte-identical to a
+   sent one, everything else is dropped and counted *)
+let test_no_misparse_under_corruption () =
+  let frames = 100_000 in
+  let delivered = ref 0 and misparsed = ref 0 in
+  let f =
+    Framer.create ~on_packet:(fun p ->
+        incr delivered;
+        if not (is_genuine p) then incr misparsed)
+  in
+  let chan =
+    Faulty.create
+      { Faulty.clean with Faulty.corrupt_rate = 0.01; seed = 20260806 }
+      ~sink:(fun b -> Framer.feed f b)
+  in
+  for seq = 0 to frames - 1 do
+    Faulty.send_all chan (Packet.encode (pattern_packet seq))
+  done;
+  Faulty.flush chan;
+  check_int "no mis-parsed frame" 0 !misparsed;
+  check_bool "corruption actually injected" true (Faulty.corrupted chan > 10_000);
+  check_bool "damaged frames rejected" true (Framer.crc_errors f > 0);
+  (* ~12 wire bytes/frame at 1%: most frames still get through *)
+  check_bool "most frames survive" true (!delivered > frames / 2);
+  check_bool "some frames lost" true (!delivered < frames)
+
+(* drops: the framer must resynchronise on the next start flag. First the
+   precise claim — an isolated drop, wherever it lands in the frame, loses
+   at most that frame plus the one already in flight; the next clean frame
+   always decodes *)
+let test_resync_isolated_drop () =
+  let wire seq = Packet.encode (pattern_packet seq) in
+  let damaged = wire 1 in
+  List.iteri
+    (fun pos _ ->
+      let got = ref [] in
+      let f = Framer.create ~on_packet:(fun p -> got := p.Packet.seq :: !got) in
+      Framer.feed_all f (wire 0);
+      Framer.feed_all f (List.filteri (fun i _ -> i <> pos) damaged);
+      Framer.feed_all f (wire 2);
+      Framer.feed_all f (wire 3);
+      let seqs = List.rev !got in
+      check_bool
+        (Printf.sprintf "frames around a drop at byte %d decode" pos)
+        true
+        (List.mem 0 seqs && List.mem 2 seqs && List.mem 3 seqs))
+    damaged
+
+(* and the aggregate claim under random drops: each drop event costs at
+   most two frames (the damaged one and the one being hunted through), so
+   delivery never falls below sent - 2*drops *)
+let test_resync_after_random_drops () =
+  let got = ref [] in
+  let f = Framer.create ~on_packet:(fun p -> got := p.Packet.seq :: !got) in
+  let chan =
+    Faulty.create
+      { Faulty.clean with Faulty.drop_rate = 0.005; seed = 7 }
+      ~sink:(fun b -> Framer.feed f b)
+  in
+  let sent = 2_000 in
+  for seq = 0 to sent - 1 do
+    Faulty.send_all chan (Packet.encode (pattern_packet seq))
+  done;
+  Faulty.flush chan;
+  let drops = Faulty.dropped chan in
+  check_bool "bytes were dropped" true (drops > 20);
+  check_bool
+    (Printf.sprintf "at most two frames lost per drop (%d delivered, %d drops)"
+       (List.length !got) drops)
+    true
+    (List.length !got >= sent - (2 * drops))
+
+(* duplicated and reordered bytes: never a mis-parse, only rejections *)
+let test_dup_and_delay_never_misparse () =
+  let misparsed = ref 0 and delivered = ref 0 in
+  let f =
+    Framer.create ~on_packet:(fun p ->
+        incr delivered;
+        if not (is_genuine p) then incr misparsed)
+  in
+  let chan =
+    Faulty.create
+      { Faulty.clean with Faulty.dup_rate = 0.01; delay_rate = 0.01; seed = 99 }
+      ~sink:(fun b -> Framer.feed f b)
+  in
+  for seq = 0 to 19_999 do
+    Faulty.send_all chan (Packet.encode (pattern_packet seq))
+  done;
+  Faulty.flush chan;
+  check_int "no mis-parsed frame" 0 !misparsed;
+  check_bool "faults injected" true
+    (Faulty.duplicated chan > 0 && Faulty.delayed chan > 0);
+  check_bool "most frames survive" true (!delivered > 10_000)
+
+(* the identity channel is exactly transparent *)
+let test_clean_channel_transparent () =
+  let got = ref 0 in
+  let f = Framer.create ~on_packet:(fun p ->
+      if is_genuine p then incr got) in
+  let chan = Faulty.create Faulty.clean ~sink:(fun b -> Framer.feed f b) in
+  for seq = 0 to 99 do
+    Faulty.send_all chan (Packet.encode (pattern_packet seq))
+  done;
+  check_int "all delivered" 100 !got;
+  check_int "no faults" 0
+    (Faulty.corrupted chan + Faulty.dropped chan + Faulty.duplicated chan
+   + Faulty.delayed chan)
+
 let suite =
   [
     Alcotest.test_case "crc known vector" `Quick test_crc_known_vector;
@@ -149,4 +271,14 @@ let suite =
     Alcotest.test_case "wire length" `Quick test_wire_length;
     QCheck_alcotest.to_alcotest prop_roundtrip;
     QCheck_alcotest.to_alcotest prop_byte_at_a_time;
+    Alcotest.test_case "fault: 1e5 frames at 1% corruption, no mis-parse"
+      `Slow test_no_misparse_under_corruption;
+    Alcotest.test_case "fault: resync within one frame of an isolated drop"
+      `Quick test_resync_isolated_drop;
+    Alcotest.test_case "fault: bounded loss under random drops" `Quick
+      test_resync_after_random_drops;
+    Alcotest.test_case "fault: dup/reorder never mis-parse" `Quick
+      test_dup_and_delay_never_misparse;
+    Alcotest.test_case "fault: clean channel transparent" `Quick
+      test_clean_channel_transparent;
   ]

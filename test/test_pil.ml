@@ -114,6 +114,45 @@ let test_pil_fixed_point_variant () =
       Alcotest.(check (float 6.0)) "fixed-point PIL tracks" 150.0 w
   | [] -> Alcotest.fail "no trace"
 
+let test_pil_duplicate_frames_idempotent () =
+  (* every sensor frame transmitted twice: the target's sequence-number
+     deduplication must step the controller exactly once per period, so
+     the closed-loop trajectory is identical to the clean run *)
+  let _, clean = run_pil ~periods:200 () in
+  let b = Servo_system.build ~config:pil_cfg () in
+  let comp = Compile.compile b.Servo_system.controller in
+  let a = Pil_target.generate ~name:"servo" ~project:b.Servo_system.project comp in
+  let controller = Sim.create comp in
+  let plant = Servo_system.pil_plant b in
+  let driver = Servo_system.pil_driver b in
+  let dup =
+    Pil_cosim.run ~dup_frames:true ~mcu:pil_cfg.Servo_system.mcu
+      ~schedule:a.Target.schedule ~controller ~plant ~driver ~periods:200 ()
+  in
+  check_int "no overruns with duplicated frames" 0
+    dup.Pil_cosim.profile.Pil_cosim.overruns;
+  let speeds r = List.map snd (Servo_system.pil_speed_trace r.Pil_cosim.trace) in
+  let pairs = List.combine (speeds clean) (speeds dup) in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check (float 1e-9)) "trajectory unchanged by duplicates" a b)
+    pairs
+
+let test_pil_timeout_holds_last_actuator () =
+  (* heavy noise: periods whose frames die must reuse the previous
+     actuator command (frame hold), never a stale mis-parse or a crash *)
+  let _, r = run_pil ~periods:300 ~error_rate:0.05 () in
+  let p = r.Pil_cosim.profile in
+  check_bool "overruns under heavy noise" true (p.Pil_cosim.overruns > 0);
+  check_bool "crc rejections counted" true (p.Pil_cosim.crc_errors > 0);
+  (* the held-frame policy keeps the loop alive and bounded *)
+  List.iter
+    (fun (_, obs) ->
+      List.iter
+        (fun (_, v) -> check_bool "observation finite" true (Float.is_finite v))
+        obs)
+    r.Pil_cosim.trace
+
 let suite =
   [
     Alcotest.test_case "pil converges" `Quick test_pil_converges;
@@ -123,4 +162,8 @@ let suite =
     Alcotest.test_case "error injection" `Quick test_pil_error_injection;
     Alcotest.test_case "comm accounting" `Quick test_pil_comm_accounting;
     Alcotest.test_case "fixed-point PIL" `Quick test_pil_fixed_point_variant;
+    Alcotest.test_case "duplicated frames idempotent" `Quick
+      test_pil_duplicate_frames_idempotent;
+    Alcotest.test_case "timeout holds last actuator frame" `Quick
+      test_pil_timeout_holds_last_actuator;
   ]
