@@ -194,6 +194,25 @@ let bench_json () =
       /. diff_report.Silvm_diff.sil_seconds
     else 0.0
   in
+  (* P10: fault-injection hook overhead — the same supervised closed
+     loop stepped with the injector armed (encoder-dropout) and with the
+     hook absent; the gap is what arming costs, the unarmed rate is what
+     merely having the hook point in Sim costs everyone else *)
+  let fault_scn =
+    match Fault_scenario.find "encoder-dropout" with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let fault_subject, _ = Servo_system.faultsim_subject ~scenario:fault_scn () in
+  let fault_steps = if quick () then 2_000 else 20_000 in
+  let unarmed_sps = Fault_campaign.throughput ~steps:fault_steps fault_subject in
+  let armed_sps =
+    Fault_campaign.throughput ~scenario:fault_scn ~steps:fault_steps
+      fault_subject
+  in
+  let armed_overhead =
+    if unarmed_sps > 0.0 then 1.0 -. (armed_sps /. unarmed_sps) else 0.0
+  in
   Obs.set_enabled false;
   let snap = Obs.snapshot () in
   let extra =
@@ -209,6 +228,14 @@ let bench_json () =
             ( "sil_seconds",
               Bench_json.Float diff_report.Silvm_diff.sil_seconds );
             ("sil_steps_per_s", Bench_json.Float sil_rate);
+          ] );
+      ( "faultsim",
+        Bench_json.Obj
+          [
+            ("steps", Bench_json.Int fault_steps);
+            ("unarmed_steps_per_s", Bench_json.Float unarmed_sps);
+            ("armed_steps_per_s", Bench_json.Float armed_sps);
+            ("armed_overhead_frac", Bench_json.Float armed_overhead);
           ] );
     ]
   in
@@ -231,6 +258,10 @@ let bench_json () =
   Printf.printf
     "P9 MIL<->SIL diff (servo, %d signals): %.0f SIL steps/s, 0 divergences\n"
     diff_report.Silvm_diff.signals sil_rate;
+  Printf.printf
+    "P10 faultsim (servo + supervisor): %.0f steps/s unarmed, %.0f armed \
+     (%.1f %% overhead)\n"
+    unarmed_sps armed_sps (100.0 *. armed_overhead);
   Printf.printf "wrote %s (git %s)\n\n" path (Bench_json.git_rev ())
 
 let run () =

@@ -8,6 +8,7 @@
      ecsd codegen   -- PEERT code generation into a directory
      ecsd pil       -- processor-in-the-loop co-simulation (Fig 6.2)
      ecsd diff      -- MIL vs SIL differential execution of generated code
+     ecsd faultsim  -- fault-injection campaign with recovery metrics
      ecsd check     -- static analysis: model advisor, range, ISR, MISRA
      ecsd mcus      -- the supported-MCU database
 *)
@@ -259,9 +260,32 @@ let pil_cmd =
 
 (* ---- diff ---- *)
 
-let diff mcu period fixed model_name steps ulp json trace metrics =
+let scenario_or_die ref_ =
+  match Fault_scenario.find ref_ with
+  | Ok s -> s
+  | Error e -> die "%s" e
+
+let injector_of scenario seed =
+  let inj = Fault_inject.arm ~seed scenario in
+  {
+    Silvm_diff.inj_sensors =
+      (fun ~step:_ ~time codes ->
+        Array.mapi
+          (fun slot v -> Fault_inject.sensor inj ~slot ~time v land 0xFFFF)
+          codes);
+    inj_active = (fun ~time -> Fault_inject.active_names inj ~time);
+  }
+
+let diff mcu period fixed model_name steps ulp scenario_ref fault_seed json
+    trace metrics =
   with_obs trace metrics @@ fun () ->
-  let cfg = config mcu period fixed in
+  let scenario = Option.map scenario_or_die scenario_ref in
+  let injector = Option.map (fun s -> injector_of s fault_seed) scenario in
+  let cfg =
+    (* fault scenarios exercise the supervisor's recovery paths *)
+    let c = config mcu period fixed in
+    if scenario = None then c else { c with Servo_system.with_supervisor = true }
+  in
   let float_mode = if ulp > 0 then Silvm_diff.Ulp ulp else Silvm_diff.Exact in
   let name, report =
     try
@@ -274,15 +298,15 @@ let diff mcu period fixed model_name steps ulp json trace metrics =
           ( "servo",
             Silvm_diff.run ~steps ~float_mode
               ~plant:(Silvm_diff.Plant (plant, driver))
-              ~name:"servo" ~project:built.Servo_system.project comp )
+              ?injector ~name:"servo" ~project:built.Servo_system.project comp )
       | "isr-demo" ->
           let m, project = Check.hazard_demo ~mcu () in
           let comp = Compile.compile m in
           (* deterministic sweep across the 12-bit ADC range *)
           let stimulus k = [| k * 37 mod 4096 |] in
           ( "isr_demo",
-            Silvm_diff.run ~steps ~float_mode ~stimulus ~name:"isr_demo"
-              ~project comp )
+            Silvm_diff.run ~steps ~float_mode ~stimulus ?injector
+              ~name:"isr_demo" ~project comp )
       | other -> die "unknown model %S (choose servo or isr-demo)" other
     with Target.Codegen_error msg -> die "code generation failed: %s" msg
   in
@@ -290,6 +314,11 @@ let diff mcu period fixed model_name steps ulp json trace metrics =
     if t > 0.0 then float_of_int report.Silvm_diff.steps_run /. t else 0.0
   in
   Printf.printf "model              : %s\n" name;
+  (match scenario with
+  | Some s ->
+      Printf.printf "fault scenario     : %s (seed %d)\n" s.Fault_scenario.sname
+        fault_seed
+  | None -> ());
   Printf.printf "signals compared   : %d per step\n" report.Silvm_diff.signals;
   Printf.printf "steps              : %d / %d\n" report.Silvm_diff.steps_run
     report.Silvm_diff.steps_requested;
@@ -305,7 +334,10 @@ let diff mcu period fixed model_name steps ulp json trace metrics =
         d.Silvm_diff.d_step d.Silvm_diff.d_time d.Silvm_diff.d_block
         d.Silvm_diff.d_port;
       Printf.printf "                     MIL %s  vs  SIL %s\n"
-        d.Silvm_diff.d_mil d.Silvm_diff.d_sil);
+        d.Silvm_diff.d_mil d.Silvm_diff.d_sil;
+      if d.Silvm_diff.d_faults <> [] then
+        Printf.printf "                     active faults: %s\n"
+          (String.concat ", " d.Silvm_diff.d_faults));
   (if json then
      let path = Printf.sprintf "DIFF_%s.json" name in
      let open Bench_json in
@@ -321,6 +353,8 @@ let diff mcu period fixed model_name steps ulp json trace metrics =
                ("port", Int d.Silvm_diff.d_port);
                ("mil", Str d.Silvm_diff.d_mil);
                ("sil", Str d.Silvm_diff.d_sil);
+               ( "active_faults",
+                 Arr (List.map (fun f -> Str f) d.Silvm_diff.d_faults) );
              ]
      in
      write ~path
@@ -332,6 +366,10 @@ let diff mcu period fixed model_name steps ulp json trace metrics =
             ("steps_run", Int report.Silvm_diff.steps_run);
             ("signals", Int report.Silvm_diff.signals);
             ("float_ulp", Int ulp);
+            ( "scenario",
+              match scenario with
+              | Some s -> Str s.Fault_scenario.sname
+              | None -> Null );
             ("mil_steps_per_s", Float (rate report.Silvm_diff.mil_seconds));
             ("sil_steps_per_s", Float (rate report.Silvm_diff.sil_seconds));
             ("divergence", divergence);
@@ -368,6 +406,23 @@ let diff_cmd =
       value & flag
       & info [ "json" ] ~doc:"Also write the report as DIFF_<model>.json.")
   in
+  let scenario =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"NAME|FILE"
+          ~doc:
+            "Inject this fault scenario (a built-in name or a $(b,.fault) \
+             file) into the sensor stream both sides consume; the servo \
+             model gains its safe-state supervisor so the diff covers the \
+             recovery paths. A divergence report names the active faults.")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "fault-seed" ] ~docv:"N"
+          ~doc:"Seed of the fault injector's random stream (default 1).")
+  in
   Cmd.v
     (Cmd.info "diff"
        ~doc:
@@ -376,7 +431,133 @@ let diff_cmd =
           first diverging block output")
     Term.(
       const diff $ mcu_arg $ period_arg $ fixed_arg $ model_arg $ steps $ ulp
-      $ json $ trace_arg $ metrics_arg)
+      $ scenario $ fault_seed $ json $ trace_arg $ metrics_arg)
+
+(* ---- faultsim ---- *)
+
+let faultsim mcu period fixed model_name scenario_ref seeds t_end list_scn json
+    json_out trace metrics =
+  if list_scn then begin
+    List.iter
+      (fun s ->
+        Printf.printf "%-16s %s\n" s.Fault_scenario.sname
+          (String.concat "; " (List.map Fault.name s.Fault_scenario.faults)))
+      Fault_scenario.builtins;
+    0
+  end
+  else
+    with_obs trace metrics @@ fun () ->
+    if model_name <> "servo" then
+      die "unknown model %S (faultsim drives the servo case study)" model_name;
+    let scenario = scenario_or_die scenario_ref in
+    let subject, _built =
+      try
+        Servo_system.faultsim_subject ~config:(config mcu period fixed)
+          ~scenario ()
+      with Invalid_argument msg -> die "%s" msg
+    in
+    let r = Fault_campaign.run ~t_end ~seeds ~scenario subject in
+    Printf.printf "model              : %s\n" model_name;
+    Printf.printf "scenario           : %s\n" r.Fault_campaign.scenario.Fault_scenario.sname;
+    List.iter
+      (fun f -> Printf.printf "fault              : %s\n" (Fault.name f))
+      r.Fault_campaign.scenario.Fault_scenario.faults;
+    Printf.printf "runs               : %d seeds x %.2f s (%d steps)\n" seeds
+      r.Fault_campaign.t_end r.Fault_campaign.steps_per_run;
+    let fmt_opt = function
+      | Some s -> Printf.sprintf "%6.1f ms" (1e3 *. s)
+      | None -> "      --"
+    in
+    let t =
+      Table.create
+        [ "seed"; "detect"; "recovery"; "degraded"; "safestop"; "max";
+          "resid rms"; "bites" ]
+    in
+    List.iter
+      (fun (run : Fault_campaign.run_result) ->
+        Table.add_row t
+          [
+            string_of_int run.Fault_campaign.seed;
+            fmt_opt run.Fault_campaign.detection_s;
+            fmt_opt run.Fault_campaign.recovery_s;
+            string_of_int run.Fault_campaign.steps_degraded;
+            string_of_int run.Fault_campaign.steps_safestop;
+            string_of_int run.Fault_campaign.max_mode;
+            Printf.sprintf "%.2f" run.Fault_campaign.residual_rms;
+            string_of_int run.Fault_campaign.wdog_bites;
+          ])
+      r.Fault_campaign.runs;
+    Table.print t;
+    let detected = Fault_campaign.all_detected r in
+    let recovered = Fault_campaign.all_recovered r in
+    Printf.printf "detected           : %s\n" (if detected then "all runs" else "NOT ALL");
+    Printf.printf "recovered          : %s\n" (if recovered then "all runs" else "NOT ALL");
+    (match (json, json_out) with
+    | false, None -> ()
+    | _ ->
+        let path =
+          match json_out with
+          | Some p -> p
+          | None -> Printf.sprintf "FAULT_%s.json" model_name
+        in
+        Bench_json.write ~path (Fault_campaign.to_json ~model:model_name r);
+        Printf.printf "JSON report written to %s\n" path);
+    if recovered then 0 else 1
+
+let faultsim_cmd =
+  let model_arg =
+    Arg.(
+      value
+      & pos 0 string "servo"
+      & info [] ~docv:"MODEL" ~doc:"Model to abuse (currently $(b,servo)).")
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt string "encoder-dropout"
+      & info [ "scenario" ] ~docv:"NAME|FILE"
+          ~doc:
+            "Fault scenario: a built-in name (see $(b,--list)) or a \
+             $(b,.fault) file.")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 5
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Campaign size: one run per seed 1..$(docv) (default 5).")
+  in
+  let t_end =
+    Arg.(
+      value & opt float 2.0
+      & info [ "t-end" ] ~docv:"SECONDS" ~doc:"Length of each run (default 2 s).")
+  in
+  let list_scn =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the built-in scenarios and exit.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Also write the campaign as FAULT_<model>.json.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE"
+          ~doc:"Write the campaign JSON to $(docv) (implies $(b,--json)).")
+  in
+  Cmd.v
+    (Cmd.info "faultsim"
+       ~doc:
+         "Fault-injection campaign: sweep a fault scenario over seeds on the \
+          closed loop and report the safe-state supervisor's detection \
+          latency, recovery time and watchdog bites (exit 1 if any run never \
+          recovers)")
+    Term.(
+      const faultsim $ mcu_arg $ period_arg $ fixed_arg $ model_arg $ scenario
+      $ seeds $ t_end $ list_scn $ json $ json_out $ trace_arg $ metrics_arg)
 
 (* ---- analyze ---- *)
 
@@ -597,5 +778,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ inspect_cmd; mil_cmd; codegen_cmd; pil_cmd; diff_cmd; check_cmd;
-            simgen_cmd; analyze_cmd; mcus_cmd ]))
+          [ inspect_cmd; mil_cmd; codegen_cmd; pil_cmd; diff_cmd; faultsim_cmd;
+            check_cmd; simgen_cmd; analyze_cmd; mcus_cmd ]))

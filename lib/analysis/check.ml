@@ -30,6 +30,9 @@ let run ?rules ?(suppress = []) ?(preemptive = false) ?project m =
         let range = Range.analyze comp in
         Range.findings range
         @ Concurrency.findings ~preemptive ~word_bits comp
+        @ (match project with
+          | Some p -> Concurrency.watchdog_findings ~project:p comp
+          | None -> [])
         @
         match project with
         | None ->

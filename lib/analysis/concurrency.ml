@@ -7,6 +7,55 @@ let context_name m = function
   | Periodic -> "the periodic timer step"
   | Isr g -> Printf.sprintf "ISR group %S" (Model.group_name m g)
 
+(* CON004: a Watch_dog bean only earns its keep if the periodic step
+   services it. A watchdog cleared from no generated context at all, or
+   only from an event-driven ISR (which stops firing exactly when the
+   system wedges), will bite in deployment the first time the periodic
+   step stalls — or, worse, never protect anything. Blocks advertise
+   their service call through a "wdog_bean" string parameter (the
+   {!Supervisor} block does). *)
+let watchdog_findings ~project comp =
+  let m = comp.Compile.model in
+  List.filter_map
+    (fun bean ->
+      match bean.Bean.config with
+      | Bean.Watch_dog _ ->
+          let bn = bean.Bean.bname in
+          let clearers =
+            List.filter
+              (fun b ->
+                match
+                  List.assoc_opt "wdog_bean" (Model.spec_of m b).Block.params
+                with
+                | Some (Param.String s) -> s = bn
+                | _ -> false)
+              (Model.blocks m)
+          in
+          let contexts = List.map (context_of m) clearers in
+          if List.mem Periodic contexts then None
+          else
+            let detail =
+              match clearers with
+              | [] ->
+                  Printf.sprintf
+                    "watchdog bean %s is enabled at startup but no block in \
+                     the model services it (%s_Clear is never called): it \
+                     will bite on deployment"
+                    bn bn
+              | _ ->
+                  Printf.sprintf
+                    "watchdog bean %s is serviced only from %s; an \
+                     event-driven ISR stops firing exactly when the system \
+                     wedges, so the periodic step must call %s_Clear"
+                    bn
+                    (String.concat ", "
+                       (List.map (context_name m) contexts))
+                    bn
+            in
+            Some (Diag.make ~rule:"CON004" ~subject:bn detail)
+      | _ -> None)
+    (Bean_project.beans project)
+
 let findings ?(preemptive = false) ?(word_bits = 16) comp =
   let m = comp.Compile.model in
   (* readers of each output port that live in a different execution

@@ -21,3 +21,10 @@ val findings :
 (** [preemptive] defaults to [false], the policy of the generated code
     (mirrors {!Rta.analyze}'s mode); [word_bits] defaults to 16, the
     paper's MC56F8367 word size — pass the project MCU's value. *)
+
+val watchdog_findings :
+  project:Bean_project.t -> Compile.t -> Diag.finding list
+(** CON004: every [Watch_dog] bean of the project must be serviced from
+    the periodic execution context. A block advertises its service call
+    through a ["wdog_bean"] string parameter naming the bean (as the
+    {!Supervisor} safe-state block does). *)

@@ -45,6 +45,8 @@ let catalogue =
       Info;
     r "CON003" "CON" "shared signal wider than the MCU word (non-atomic access)"
       Warning;
+    r "CON004" "CON" "Watch_dog bean with no _Clear path in the periodic context"
+      Error;
     (* MISRA-subset C lint *)
     r "MIS001" "MIS" "function has more than one return statement" Warning;
     r "MIS002" "MIS" "declaration shadows an outer identifier" Warning;

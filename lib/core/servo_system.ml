@@ -13,6 +13,7 @@ type config = {
   baud : int;
   with_mode_logic : bool;
   block_set : block_set;
+  with_supervisor : bool;
 }
 
 let default_config =
@@ -28,6 +29,7 @@ let default_config =
     baud = 115200;
     with_mode_logic = true;
     block_set = Pe_blocks;
+    with_supervisor = false;
   }
 
 type built = {
@@ -39,6 +41,7 @@ type built = {
   speed_block : string;
   duty_block : string;
   setpoint_block : string;
+  supervisor_block : string option;
 }
 
 (* The speed normalisation of the Q15 controller: set-points stay well
@@ -60,6 +63,10 @@ let make_project cfg =
       (Bean.Bit_io { pin = List.hd cfg.mcu.Mcu_db.pins; direction = Bean.In_pin;
                      init = false });
   add "AS1" (Bean.Serial { port = None; baud = cfg.baud });
+  if cfg.with_supervisor then
+    (* serviced by the supervisor block's generated step; timeout covers
+       several missed periods so PIL jitter alone never bites *)
+    add "WD1" (Bean.Watch_dog { timeout = 8.0 *. cfg.control_period });
   (match Bean_project.verify p with
   | Ok () -> ()
   | Error msgs ->
@@ -201,6 +208,22 @@ let build_controller cfg project gains =
     end
     else (sat, 0)
   in
+  let duty_src =
+    if cfg.with_supervisor then begin
+      (* the safe-state supervisor rides between the controller and the
+         PWM: raw count + measured speed in, supervised duty out *)
+      let sup =
+        add ~name:"supervisor"
+          (Supervisor.block ~period:ts
+             { Supervisor.default with Supervisor.wdog_bean = Some "WD1" })
+      in
+      connect ~src:(qd, 0) ~dst:(sup, 0);
+      connect ~src:(spd, 0) ~dst:(sup, 1);
+      connect ~src:duty_src ~dst:(sup, 2);
+      (sup, 0)
+    end
+    else duty_src
+  in
   let ratio = add ~name:"duty2ratio" (Math_blocks.gain 65535.0) in
   let cast = add ~name:"ratio_u16" (Math_blocks.cast Dtype.Uint16) in
   let pwm = add ~name:"pwm" (mk_pwm (Bean_project.find project "PWM1")) in
@@ -269,6 +292,8 @@ let build ?(config = default_config) () =
     speed_block = "plant/motor";
     duty_block = "duty_junction";
     setpoint_block = "ctl/sp";
+    supervisor_block =
+      (if cfg.with_supervisor then Some "ctl/supervisor" else None);
   }
 
 let solver_substeps_for built comp =
@@ -276,6 +301,47 @@ let solver_substeps_for built comp =
   let tau_e = Dc_motor.electrical_time_constant built.config.motor in
   Stdlib.max 1
     (int_of_float (Float.ceil (comp.Compile.base_dt /. (0.4 *. tau_e))))
+
+(* ---------- fault-campaign subject ---------- *)
+
+let faultsim_subject ?(config = default_config) ~scenario () =
+  (* plant-side load faults fold into the load profile — the MIL plant
+     computes its shaft torque internally, not through a signal port *)
+  let load =
+    List.fold_left
+      (fun acc f ->
+        match f.Fault.kind with
+        | Fault.Load_torque torque ->
+            let stop =
+              match f.Fault.every with
+              | None -> f.Fault.at +. f.Fault.duration
+              | Some _ -> infinity
+            in
+            Load_profile.Sum
+              [ acc; Load_profile.Pulse { start = f.Fault.at; stop; torque } ]
+        | _ -> acc)
+      config.load scenario.Fault_scenario.faults
+  in
+  let cfg = { config with with_supervisor = true; load } in
+  let built = build ~config:cfg () in
+  let comp = Compile.compile built.closed_loop in
+  let sim = Sim.create ~solver_substeps:(solver_substeps_for built comp) comp in
+  let find n = Model.find built.closed_loop n in
+  let subject =
+    {
+      Fault_campaign.sim;
+      ports =
+        {
+          Fault_campaign.sensor_ports = [| (find "ctl/qd", 0) |];
+          duty_port = Some (find built.duty_block, 0);
+          mode_port = (find "ctl/supervisor", 1);
+          speed_port = (find built.speed_block, 0);
+          setpoint_port = Some (find built.setpoint_block, 0);
+        };
+      mcu = cfg.mcu;
+    }
+  in
+  (subject, built)
 
 let mil_run built ~t_end =
   let comp = Compile.compile built.closed_loop in

@@ -36,6 +36,9 @@ type config = {
   baud : int;  (** PIL serial line rate *)
   with_mode_logic : bool;  (** include the manual/auto chart + button *)
   block_set : block_set;
+  with_supervisor : bool;
+      (** insert the {!Supervisor} safe-state block between the
+          controller and the PWM, plus a WD1 watchdog bean it services *)
 }
 
 val default_config : config
@@ -52,6 +55,9 @@ type built = {
   speed_block : string;  (** closed-loop block name carrying motor speed *)
   duty_block : string;  (** closed-loop block name carrying the PWM duty *)
   setpoint_block : string;
+  supervisor_block : string option;
+      (** closed-loop name of the safe-state supervisor (port 1 = mode),
+          when [with_supervisor] is set *)
 }
 
 val mode_chart_factory :
@@ -67,6 +73,21 @@ val plant_model : config -> Model.t
 val build : ?config:config -> unit -> built
 (** Construct and verify everything.
     @raise Invalid_argument when the bean project does not verify. *)
+
+val solver_substeps_for : built -> Compile.t -> int
+(** Solver sub-steps keeping the motor's electrical pole stable at the
+    configured control rate. *)
+
+val faultsim_subject :
+  ?config:config ->
+  scenario:Fault_scenario.t ->
+  unit ->
+  Fault_campaign.subject * built
+(** Build the servo closed loop as a fault-campaign subject: forces
+    [with_supervisor] on, folds the scenario's [Load_torque] faults into
+    the plant's load profile, and maps the campaign ports (sensor slot 0
+    = the quadrature count, the duty junction, the supervisor mode, the
+    motor speed and the set-point). *)
 
 val mil_run :
   built -> t_end:float -> (float * float) list * (float * float) list

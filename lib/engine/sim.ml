@@ -42,6 +42,10 @@ type t = {
          [Model.group_index] — replaces the List.assoc_opt lookup that
          used to sit on every event dispatch *)
   group_counters : Obs.counter array;  (* same indexing *)
+  mutable fault_hook :
+    (time:float -> Model.blk * int -> Value.t -> Value.t) option;
+      (* fault-injection perturbation applied to every written output
+         port (after overrides); None = unarmed, near-zero cost *)
 }
 
 (* process-wide engine metrics *)
@@ -62,9 +66,15 @@ let write_outputs t b outs =
          (Array.length outs) spec.Block.n_out);
   Array.iteri
     (fun p v ->
-      match t.overrides.(bi b).(p) with
-      | Some ov -> t.signals.(bi b).(p) <- ov
-      | None -> t.signals.(bi b).(p) <- v)
+      let v =
+        match t.overrides.(bi b).(p) with Some ov -> ov | None -> v
+      in
+      let v =
+        match t.fault_hook with
+        | None -> v
+        | Some h -> h ~time:t.now (b, p) v
+      in
+      t.signals.(bi b).(p) <- v)
     outs
 
 let rec exec_group t g =
@@ -165,6 +175,7 @@ let create ?(solver = Ode.Rk4) ?(solver_substeps = 1) comp =
       solver_substeps;
       group_exec;
       group_counters;
+      fault_hook = None;
     }
   in
   t_ref := Some t;
@@ -314,5 +325,7 @@ let fire_group t g = exec_group t g
 let override_output t (b, p) v =
   t.overrides.(bi b).(p) <- v;
   match v with Some v -> t.signals.(bi b).(p) <- v | None -> ()
+
+let set_fault_hook t h = t.fault_hook <- h
 
 let step_events t = t.events_this_step

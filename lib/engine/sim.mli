@@ -56,5 +56,14 @@ val override_output : t -> Model.blk * int -> Value.t option -> unit
     the mechanism the PIL harness uses to redirect peripheral blocks to
     communication buffers, as PEERT_PIL does in §6. *)
 
+val set_fault_hook :
+  t -> (time:float -> Model.blk * int -> Value.t -> Value.t) option -> unit
+(** Install (or clear, with [None]) a fault-injection hook: a perturbation
+    applied to every output-port value as it is written (after
+    {!override_output} overrides). Unarmed, the hook costs one option
+    check per port write. This is the MIL attachment point of the fault
+    campaign subsystem — the hook decides per (block, port) whether and
+    how to corrupt the sample. *)
+
 val step_events : t -> int
 (** Number of events fired during the last major step. *)

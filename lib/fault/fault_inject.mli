@@ -1,0 +1,55 @@
+(** Seeded fault injector: evaluates a {!Fault_scenario.t} against
+    simulation time and perturbs the signals that cross the
+    controller/world boundary.
+
+    One injector = one armed run. All randomness (noise amplitudes,
+    glitch occurrences) comes from a SplitMix64 stream derived from the
+    seed, so a campaign run is replayed exactly by re-arming with the
+    same seed. The injector itself is engine-agnostic: the MIL engine
+    attaches it through {!sim_hook}, the SIL/PIL harnesses call
+    {!sensor} / {!overrun_cycles} / {!wdog_suppressed} directly. *)
+
+type t
+
+val arm : ?seed:int -> Fault_scenario.t -> t
+(** Default seed 1. *)
+
+val scenario : t -> Fault_scenario.t
+val seed : t -> int
+
+val sensor : t -> slot:int -> time:float -> int -> int
+(** Perturb one raw sensor code. Applies every active sensor fault bound
+    to [slot], in scenario order. [Sensor_stuck] freezes the code at the
+    last value this function returned for the slot while the fault was
+    inactive. The result is not masked — callers that model a 16-bit
+    peripheral register mask it themselves. *)
+
+val duty : t -> time:float -> float -> float
+(** Perturb the commanded actuator duty (jam / saturation). *)
+
+val load_torque : t -> time:float -> float
+(** Extra shaft load torque at [time] (sum of active [Load_torque]). *)
+
+val overrun_cycles : t -> time:float -> int
+(** Extra CPU cycles the control step burns at [time] (sum of active
+    [Overrun] faults). *)
+
+val wdog_suppressed : t -> time:float -> bool
+(** Whether the watchdog service call is lost at [time]. *)
+
+val comm_config : t -> Faulty.config option
+(** The serial-line fault model, if the scenario carries one ([Comm]
+    faults arm the line for the whole run — the window is ignored). *)
+
+val active_names : t -> time:float -> string list
+
+val sim_hook :
+  t ->
+  sensor_ports:(Model.blk * int) array ->
+  ?duty_port:Model.blk * int ->
+  unit ->
+  (time:float -> Model.blk * int -> Value.t -> Value.t) option
+(** Build the perturbation function for {!Sim.set_fault_hook}:
+    [sensor_ports.(slot)] is the output port carrying sensor slot
+    [slot]'s raw code, [duty_port] the commanded duty. Returns [None]
+    for an empty scenario (nothing to arm). *)

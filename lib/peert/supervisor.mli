@@ -1,0 +1,48 @@
+(** Generated safe-state supervisor.
+
+    A small statechart block (Nominal → Degraded → SafeStop) that rides
+    between the controller and the actuator and implements graceful
+    degradation: it range-checks the measured speed, detects a stale
+    feedback sample (encoder count frozen while the previously APPLIED
+    duty says the shaft should move — keyed on the supervisor's own
+    output, not the PID demand, so SafeStop with a stopped shaft can
+    still recover), caps the duty while Degraded, forces a safe
+    duty in SafeStop, recovers one level per [recover_limit] consecutive
+    healthy samples — and, in the deployment build, services the
+    project's watchdog bean every step so a control-loop stall is caught
+    by the silicon.
+
+    Like every PEERT block it exists twice: an s-function behaviour for
+    MIL and a registered C emitter (kind ["SafeSupervisor"]) for the
+    generated step function. Both sides perform the identical float
+    comparisons and integer counter updates in the identical order, so
+    MIL-vs-SIL lock-step stays bit-exact through fault transients.
+
+    Ports: in0 = raw feedback count (integer), in1 = measured speed,
+    in2 = commanded duty; out0 = supervised duty, out1 = mode
+    (0 nominal / 1 degraded / 2 safe-stop, as a double). *)
+
+type config = {
+  w_max : float;  (** plausible |speed| ceiling, rad/s *)
+  duty_active : float;
+      (** |duty| above which a frozen count is suspicious *)
+  stale_limit : int;  (** frozen samples before the feedback is stale *)
+  trip_limit : int;  (** unhealthy samples in Degraded before SafeStop *)
+  recover_limit : int;  (** healthy samples per recovery level *)
+  safe_duty : float;  (** duty forced in SafeStop *)
+  degraded_duty_max : float;  (** duty ceiling while Degraded *)
+  wdog_bean : string option;
+      (** watchdog bean serviced by the generated step (deployment build
+          only; the PIL build has no HAL to call) *)
+}
+
+val default : config
+(** Tuned for the servo case study at 1 kHz: [w_max] 260 rad/s,
+    [duty_active] 0.05, [stale_limit] 30, [trip_limit] 50,
+    [recover_limit] 25, [safe_duty] 0, [degraded_duty_max] 0.5, no
+    watchdog. *)
+
+val kind : string
+(** ["SafeSupervisor"] — the registered emitter's dispatch key. *)
+
+val block : ?period:float -> config -> Block.spec

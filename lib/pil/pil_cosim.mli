@@ -55,6 +55,7 @@ val run :
   ?error_rate:float ->
   ?seed:int ->
   ?dup_frames:bool ->
+  ?overrun_inject:(int -> int) ->
   mcu:Mcu_db.t ->
   schedule:Target.schedule ->
   controller:Sim.t ->
@@ -70,7 +71,9 @@ val run :
     sensor frame twice, exercising the target's sequence-number
     deduplication (a duplicated frame must not step the controller
     twice). [preemptive] configures the interrupt controller (E7
-    ablation).
+    ablation). [overrun_inject] returns extra CPU cycles charged to the
+    given period's control step (fault-injection campaigns use it to
+    provoke deadline misses; default none).
     @raise Invalid_argument when a period cannot even carry the two
     packets at the given baud rate (the feasibility boundary — the error
     message carries the minimum period). *)

@@ -19,6 +19,7 @@ type divergence = {
   d_port : int;
   d_mil : string;
   d_sil : string;
+  d_faults : string list;
 }
 
 type report = {
@@ -33,6 +34,13 @@ type report = {
 (* a plant plus its PIL driver, packaged so heterogeneous plants fit
    one argument *)
 type plant = Plant : 'p * 'p Pil_cosim.plant_driver -> plant
+
+(* fault perturbation applied to the sensor codes BOTH sides consume,
+   plus the fault names active at a time (for the divergence report) *)
+type injector = {
+  inj_sensors : step:int -> time:float -> int array -> int array;
+  inj_active : time:float -> string list;
+}
 
 let ulp_key x =
   let b = Int64.bits_of_float x in
@@ -97,8 +105,8 @@ let inject sim app schedule sensors =
 
 exception Stop of divergence
 
-let run ?(steps = 1000) ?(float_mode = Exact) ?plant ?stimulus ~name ~project
-    comp =
+let run ?(steps = 1000) ?(float_mode = Exact) ?plant ?stimulus ?injector ~name
+    ~project comp =
   Obs.span "silvm.diff" @@ fun () ->
   let sim = Sim.create comp in
   let app = Silvm_app.create ~name ~project comp in
@@ -114,9 +122,15 @@ let run ?(steps = 1000) ?(float_mode = Exact) ?plant ?stimulus ~name ~project
     try
       for k = 0 to steps - 1 do
         let time = float_of_int k *. base in
+        let perturb s =
+          match injector with
+          | Some i -> i.inj_sensors ~step:k ~time s
+          | None -> s
+        in
         (match plant, stimulus with
-        | Some (Plant (p, d)), _ -> inject sim app sched (d.Pil_cosim.read_sensors p ~time)
-        | None, Some f -> inject sim app sched (f k)
+        | Some (Plant (p, d)), _ ->
+            inject sim app sched (perturb (d.Pil_cosim.read_sensors p ~time))
+        | None, Some f -> inject sim app sched (perturb (f k))
         | None, None -> ());
         let t0 = Sys.time () in
         Sim.step sim;
@@ -138,6 +152,10 @@ let run ?(steps = 1000) ?(float_mode = Exact) ?plant ?stimulus ~name ~project
                      d_port = p;
                      d_mil = mil_to_string mil;
                      d_sil = Silvm_value.to_string sil;
+                     d_faults =
+                       (match injector with
+                       | Some i -> i.inj_active ~time
+                       | None -> []);
                    }))
           signals;
         incr steps_done;

@@ -19,6 +19,9 @@ type divergence = {
   d_port : int;
   d_mil : string;  (** the engine's value, printed exactly *)
   d_sil : string;  (** the interpreter's value, printed exactly *)
+  d_faults : string list;
+      (** names of the injected faults active at the divergence step
+          (empty when no injector was armed) *)
 }
 
 type report = {
@@ -36,11 +39,21 @@ type plant = Plant : 'p * 'p Pil_cosim.plant_driver -> plant
     (the generated application's own output), so both sides see the
     identical sensor stream. *)
 
+type injector = {
+  inj_sensors : step:int -> time:float -> int array -> int array;
+      (** perturb the raw sensor codes; applied to the stream {e both}
+          sides consume, so faults exercise recovery paths without
+          breaking lock-step equality *)
+  inj_active : time:float -> string list;
+      (** fault names active at a time, for the divergence report *)
+}
+
 val run :
   ?steps:int ->
   ?float_mode:float_mode ->
   ?plant:plant ->
   ?stimulus:(int -> int array) ->
+  ?injector:injector ->
   name:string ->
   project:Bean_project.t ->
   Compile.t ->

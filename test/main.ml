@@ -29,4 +29,5 @@ let () =
       ("sim-golden", Test_sim_golden.suite);
       ("analysis", Test_analysis.suite);
       ("silvm", Test_silvm.suite);
+      ("fault", Test_fault.suite);
     ]
