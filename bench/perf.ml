@@ -213,6 +213,30 @@ let bench_json () =
   let armed_overhead =
     if unarmed_sps > 0.0 then 1.0 -. (armed_sps /. unarmed_sps) else 0.0
   in
+  (* P11: campaign scaling — the 64-seed encoder-dropout campaign run
+     through the work-stealing pool at --jobs 1 and --jobs 4. The
+     speedup is whatever this machine's cores allow (recorded next to
+     [domains_available] so the number can be judged); the merged
+     report must be identical either way, which is asserted here. *)
+  let scaling_seeds = if quick () then 16 else 64 in
+  let scaling_t_end = if quick () then 0.5 else 2.0 in
+  let mk_subject () =
+    fst (Servo_system.faultsim_subject ~scenario:fault_scn ())
+  in
+  let campaign jobs =
+    Exec_pool.with_pool ~workers:jobs (fun pool ->
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Fault_campaign.run_parallel ~t_end:scaling_t_end ~seeds:scaling_seeds
+            ~pool ~scenario:fault_scn mk_subject
+        in
+        (r, Unix.gettimeofday () -. t0))
+  in
+  let r1, wall1 = campaign 1 in
+  let r4, wall4 = campaign 4 in
+  if r1.Fault_campaign.runs <> r4.Fault_campaign.runs then
+    failwith "P11: --jobs 4 campaign differs from --jobs 1";
+  let speedup = if wall4 > 0.0 then wall1 /. wall4 else 0.0 in
   Obs.set_enabled false;
   let snap = Obs.snapshot () in
   let extra =
@@ -236,6 +260,19 @@ let bench_json () =
             ("unarmed_steps_per_s", Bench_json.Float unarmed_sps);
             ("armed_steps_per_s", Bench_json.Float armed_sps);
             ("armed_overhead_frac", Bench_json.Float armed_overhead);
+          ] );
+      ( "campaign_scaling",
+        Bench_json.Obj
+          [
+            ("seeds", Bench_json.Int scaling_seeds);
+            ("t_end", Bench_json.Float scaling_t_end);
+            ("steps_per_run", Bench_json.Int r1.Fault_campaign.steps_per_run);
+            ("jobs1_wall_s", Bench_json.Float wall1);
+            ("jobs4_wall_s", Bench_json.Float wall4);
+            ("speedup_jobs4", Bench_json.Float speedup);
+            ( "domains_available",
+              Bench_json.Int (Domain.recommended_domain_count ()) );
+            ("identical_reports", Bench_json.Bool true);
           ] );
     ]
   in
@@ -262,6 +299,11 @@ let bench_json () =
     "P10 faultsim (servo + supervisor): %.0f steps/s unarmed, %.0f armed \
      (%.1f %% overhead)\n"
     unarmed_sps armed_sps (100.0 *. armed_overhead);
+  Printf.printf
+    "P11 campaign scaling (%d seeds): %.2f s at --jobs 1, %.2f s at --jobs 4 \
+     (%.2fx, %d domains available, reports identical)\n"
+    scaling_seeds wall1 wall4 speedup
+    (Domain.recommended_domain_count ());
   Printf.printf "wrote %s (git %s)\n\n" path (Bench_json.git_rev ())
 
 let run () =

@@ -9,6 +9,7 @@
      ecsd pil       -- processor-in-the-loop co-simulation (Fig 6.2)
      ecsd diff      -- MIL vs SIL differential execution of generated code
      ecsd faultsim  -- fault-injection campaign with recovery metrics
+     ecsd serve     -- long-running campaign queue over a domain pool
      ecsd check     -- static analysis: model advisor, range, ISR, MISRA
      ecsd mcus      -- the supported-MCU database
 *)
@@ -106,6 +107,15 @@ let with_obs trace metrics f =
     end
   end;
   code
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Shard the campaign across $(docv) worker domains (default 1: \
+           run serially on this domain). The merged report is identical \
+           whatever $(docv) is — only wall_s, the elapsed time, differs.")
 
 (* ---- inspect ---- *)
 
@@ -276,8 +286,127 @@ let injector_of scenario seed =
     inj_active = (fun ~time -> Fault_inject.active_names inj ~time);
   }
 
-let diff mcu period fixed model_name steps ulp scenario_ref fault_seed json
-    trace metrics =
+let divergence_json (d : Silvm_diff.divergence option) =
+  let open Bench_json in
+  match d with
+  | None -> Null
+  | Some d ->
+      Obj
+        [
+          ("step", Int d.Silvm_diff.d_step);
+          ("time", Float d.Silvm_diff.d_time);
+          ("block", Str d.Silvm_diff.d_block);
+          ("port", Int d.Silvm_diff.d_port);
+          ("mil", Str d.Silvm_diff.d_mil);
+          ("sil", Str d.Silvm_diff.d_sil);
+          ( "active_faults",
+            Arr (List.map (fun f -> Str f) d.Silvm_diff.d_faults) );
+        ]
+
+(* Seed sweep: one differential run per fault seed 1..N, sharded over a
+   domain pool. Each domain builds its own model/plant context (the
+   compile dedups through the content-hashed cache); reports merge in
+   seed order, so the sweep output — table and JSON, which carries no
+   timing field — is identical whatever --jobs is. *)
+let diff_sweep ~cfg ~mcu ~float_mode ~steps ~ulp ~scenario ~seeds ~jobs ~json
+    model_name =
+  let mk_ctx () =
+    match model_name with
+    | "servo" ->
+        let built = build_or_fail cfg in
+        let comp = Compile_cache.compile built.Servo_system.controller in
+        `Servo (built, comp)
+    | "isr-demo" ->
+        let m, project = Check.hazard_demo ~mcu () in
+        let comp = Compile_cache.compile m in
+        `Isr (project, comp)
+    | other -> die "unknown model %S (choose servo or isr-demo)" other
+  in
+  let run_one ctx seed =
+    let injector = Some (injector_of scenario seed) in
+    try
+      match ctx with
+      | `Servo (built, comp) ->
+          let plant = Servo_system.pil_plant built in
+          let driver = Servo_system.pil_driver built in
+          Silvm_diff.run ~steps ~float_mode
+            ~plant:(Silvm_diff.Plant (plant, driver))
+            ?injector ~name:"servo" ~project:built.Servo_system.project comp
+      | `Isr (project, comp) ->
+          let stimulus k = [| k * 37 mod 4096 |] in
+          Silvm_diff.run ~steps ~float_mode ~stimulus ?injector
+            ~name:"isr_demo" ~project comp
+    with Target.Codegen_error msg -> die "code generation failed: %s" msg
+  in
+  let name = if model_name = "isr-demo" then "isr_demo" else model_name in
+  let ctx_key = Domain.DLS.new_key mk_ctx in
+  (* build on this domain first: config errors die here, not on a
+     worker, and the workers' compiles then hit the cache *)
+  ignore (Domain.DLS.get ctx_key);
+  let f i = run_one (Domain.DLS.get ctx_key) (i + 1) in
+  let reports =
+    if jobs <= 1 then Array.init seeds f
+    else
+      Exec_pool.with_pool ~workers:jobs (fun pool ->
+          Exec_pool.run_map pool seeds f)
+  in
+  Printf.printf "model              : %s\n" name;
+  Printf.printf "fault scenario     : %s (seeds 1..%d)\n"
+    scenario.Fault_scenario.sname seeds;
+  Printf.printf "signals compared   : %d per step\n"
+    reports.(0).Silvm_diff.signals;
+  Printf.printf "steps per run      : %d\n" steps;
+  let t = Table.create [ "seed"; "result" ] in
+  Array.iteri
+    (fun i r ->
+      Table.add_row t
+        [
+          string_of_int (i + 1);
+          (match r.Silvm_diff.divergence with
+          | None -> "ok"
+          | Some d ->
+              Printf.sprintf "DIVERGENCE at step %d on %s port %d"
+                d.Silvm_diff.d_step d.Silvm_diff.d_block d.Silvm_diff.d_port);
+        ])
+    reports;
+  Table.print t;
+  let diverged =
+    Array.fold_left
+      (fun a r -> if r.Silvm_diff.divergence = None then a else a + 1)
+      0 reports
+  in
+  Printf.printf "divergences        : %d / %d\n" diverged seeds;
+  (if json then
+     let path = Printf.sprintf "DIFF_%s.json" name in
+     let open Bench_json in
+     write ~path
+       (Obj
+          [
+            ("name", Str name);
+            ("git_rev", Str (git_rev ()));
+            ("steps_requested", Int steps);
+            ("signals", Int reports.(0).Silvm_diff.signals);
+            ("float_ulp", Int ulp);
+            ("scenario", Str scenario.Fault_scenario.sname);
+            ("seeds", Int seeds);
+            ("divergences", Int diverged);
+            ( "runs",
+              Arr
+                (List.mapi
+                   (fun i r ->
+                     Obj
+                       [
+                         ("seed", Int (i + 1));
+                         ("steps_run", Int r.Silvm_diff.steps_run);
+                         ("divergence", divergence_json r.Silvm_diff.divergence);
+                       ])
+                   (Array.to_list reports)) );
+          ]);
+     Printf.printf "JSON report written to %s\n" path);
+  if diverged = 0 then 0 else 1
+
+let diff mcu period fixed model_name steps ulp scenario_ref fault_seed seeds
+    jobs json trace metrics =
   with_obs trace metrics @@ fun () ->
   let scenario = Option.map scenario_or_die scenario_ref in
   let injector = Option.map (fun s -> injector_of s fault_seed) scenario in
@@ -287,6 +416,13 @@ let diff mcu period fixed model_name steps ulp scenario_ref fault_seed json
     if scenario = None then c else { c with Servo_system.with_supervisor = true }
   in
   let float_mode = if ulp > 0 then Silvm_diff.Ulp ulp else Silvm_diff.Exact in
+  if seeds > 1 then
+    match scenario with
+    | None -> die "--seeds %d: a seed sweep varies the fault stream; give --scenario" seeds
+    | Some scn ->
+        diff_sweep ~cfg ~mcu ~float_mode ~steps ~ulp ~scenario:scn ~seeds ~jobs
+          ~json model_name
+  else
   let name, report =
     try
       match model_name with
@@ -341,22 +477,7 @@ let diff mcu period fixed model_name steps ulp scenario_ref fault_seed json
   (if json then
      let path = Printf.sprintf "DIFF_%s.json" name in
      let open Bench_json in
-     let divergence =
-       match report.Silvm_diff.divergence with
-       | None -> Null
-       | Some d ->
-           Obj
-             [
-               ("step", Int d.Silvm_diff.d_step);
-               ("time", Float d.Silvm_diff.d_time);
-               ("block", Str d.Silvm_diff.d_block);
-               ("port", Int d.Silvm_diff.d_port);
-               ("mil", Str d.Silvm_diff.d_mil);
-               ("sil", Str d.Silvm_diff.d_sil);
-               ( "active_faults",
-                 Arr (List.map (fun f -> Str f) d.Silvm_diff.d_faults) );
-             ]
-     in
+     let divergence = divergence_json report.Silvm_diff.divergence in
      write ~path
        (Obj
           [
@@ -423,6 +544,15 @@ let diff_cmd =
       & info [ "fault-seed" ] ~docv:"N"
           ~doc:"Seed of the fault injector's random stream (default 1).")
   in
+  let seeds =
+    Arg.(
+      value & opt int 1
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:
+            "Sweep the differential run over fault seeds 1..$(docv) \
+             (default 1: one run with --fault-seed). Needs --scenario; \
+             shard across domains with --jobs.")
+  in
   Cmd.v
     (Cmd.info "diff"
        ~doc:
@@ -431,12 +561,13 @@ let diff_cmd =
           first diverging block output")
     Term.(
       const diff $ mcu_arg $ period_arg $ fixed_arg $ model_arg $ steps $ ulp
-      $ scenario $ fault_seed $ json $ trace_arg $ metrics_arg)
+      $ scenario $ fault_seed $ seeds $ jobs_arg $ json $ trace_arg
+      $ metrics_arg)
 
 (* ---- faultsim ---- *)
 
-let faultsim mcu period fixed model_name scenario_ref seeds t_end list_scn json
-    json_out trace metrics =
+let faultsim mcu period fixed model_name scenario_ref seeds t_end jobs list_scn
+    json json_out trace metrics =
   if list_scn then begin
     List.iter
       (fun s ->
@@ -450,13 +581,19 @@ let faultsim mcu period fixed model_name scenario_ref seeds t_end list_scn json
     if model_name <> "servo" then
       die "unknown model %S (faultsim drives the servo case study)" model_name;
     let scenario = scenario_or_die scenario_ref in
-    let subject, _built =
+    let mk_subject () =
       try
-        Servo_system.faultsim_subject ~config:(config mcu period fixed)
-          ~scenario ()
+        fst
+          (Servo_system.faultsim_subject ~config:(config mcu period fixed)
+             ~scenario ())
       with Invalid_argument msg -> die "%s" msg
     in
-    let r = Fault_campaign.run ~t_end ~seeds ~scenario subject in
+    let r =
+      if jobs <= 1 then Fault_campaign.run ~t_end ~seeds ~scenario (mk_subject ())
+      else
+        Exec_pool.with_pool ~workers:jobs (fun pool ->
+            Fault_campaign.run_parallel ~t_end ~seeds ~pool ~scenario mk_subject)
+    in
     Printf.printf "model              : %s\n" model_name;
     Printf.printf "scenario           : %s\n" r.Fault_campaign.scenario.Fault_scenario.sname;
     List.iter
@@ -557,7 +694,194 @@ let faultsim_cmd =
           recovers)")
     Term.(
       const faultsim $ mcu_arg $ period_arg $ fixed_arg $ model_arg $ scenario
-      $ seeds $ t_end $ list_scn $ json $ json_out $ trace_arg $ metrics_arg)
+      $ seeds $ t_end $ jobs_arg $ list_scn $ json $ json_out $ trace_arg
+      $ metrics_arg)
+
+(* ---- serve ---- *)
+
+(* Long-running campaign queue: one job per stdin line, sharded over the
+   worker pool, one JSON result line per job on stdout. Results stream
+   in submission order (a reorder buffer holds finished jobs whose
+   predecessors are still running), so the output is a deterministic
+   function of the input whatever the pool schedule does. *)
+
+let serve_usage =
+  "faultsim SCENARIO [SEEDS [T_END]]  |  diff MODEL [STEPS [SCENARIO [SEED]]]"
+
+let serve mcu period fixed jobs =
+  let cfg = config mcu period fixed in
+  let workers = if jobs >= 1 then jobs else Domain.recommended_domain_count () in
+  let pool = Exec_pool.create ~workers () in
+  let lock = Mutex.create () in
+  let drained = Condition.create () in
+  let pending = ref 0 in
+  let next_out = ref 0 in
+  let ready : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  let emit id line =
+    Mutex.lock lock;
+    Hashtbl.replace ready id line;
+    let rec drain () =
+      match Hashtbl.find_opt ready !next_out with
+      | Some l ->
+          print_endline l;
+          flush stdout;
+          Hashtbl.remove ready !next_out;
+          incr next_out;
+          drain ()
+      | None -> ()
+    in
+    drain ();
+    decr pending;
+    Condition.broadcast drained;
+    Mutex.unlock lock
+  in
+  let open Bench_json in
+  let scenario_or_fail s =
+    match Fault_scenario.find s with Ok scn -> scn | Error e -> failwith e
+  in
+  let run_faultsim scn_ref seeds t_end =
+    let scenario = scenario_or_fail scn_ref in
+    let subject, _ =
+      Servo_system.faultsim_subject ~config:cfg ~scenario ()
+    in
+    let r = Fault_campaign.run ~t_end ~seeds ~scenario subject in
+    let recovered = Fault_campaign.all_recovered r in
+    [
+      ("job", Str "faultsim");
+      ("scenario", Str r.Fault_campaign.scenario.Fault_scenario.sname);
+      ("seeds", Int seeds);
+      ("t_end", Float r.Fault_campaign.t_end);
+      ("all_detected", Bool (Fault_campaign.all_detected r));
+      ("all_recovered", Bool recovered);
+      ( "wdog_bites",
+        Int
+          (List.fold_left
+             (fun a x -> a + x.Fault_campaign.wdog_bites)
+             0 r.Fault_campaign.runs) );
+      ("wall_s", Float r.Fault_campaign.wall_s);
+      ("exit", Int (if recovered then 0 else 1));
+    ]
+  in
+  let run_diff model steps scn_ref seed =
+    let scenario = Option.map scenario_or_fail scn_ref in
+    let injector = Option.map (fun s -> injector_of s seed) scenario in
+    let dcfg =
+      if scenario = None then cfg
+      else { cfg with Servo_system.with_supervisor = true }
+    in
+    let name, report =
+      match model with
+      | "servo" ->
+          let built = Servo_system.build ~config:dcfg () in
+          let comp = Compile_cache.compile built.Servo_system.controller in
+          let plant = Servo_system.pil_plant built in
+          let driver = Servo_system.pil_driver built in
+          ( "servo",
+            Silvm_diff.run ~steps ~float_mode:Silvm_diff.Exact
+              ~plant:(Silvm_diff.Plant (plant, driver))
+              ?injector ~name:"servo" ~project:built.Servo_system.project comp
+          )
+      | "isr-demo" ->
+          let m, project = Check.hazard_demo ~mcu () in
+          let comp = Compile_cache.compile m in
+          let stimulus k = [| k * 37 mod 4096 |] in
+          ( "isr_demo",
+            Silvm_diff.run ~steps ~float_mode:Silvm_diff.Exact ~stimulus
+              ?injector ~name:"isr_demo" ~project comp )
+      | other -> failwith (Printf.sprintf "unknown model %S" other)
+    in
+    let ok = report.Silvm_diff.divergence = None in
+    [
+      ("job", Str "diff");
+      ("model", Str name);
+      ("steps_run", Int report.Silvm_diff.steps_run);
+      ( "scenario",
+        match scenario with
+        | Some s -> Str s.Fault_scenario.sname
+        | None -> Null );
+      ("divergence", divergence_json report.Silvm_diff.divergence);
+      ("exit", Int (if ok then 0 else 1));
+    ]
+  in
+  let parse_job line =
+    match
+      String.split_on_char ' ' line
+      |> List.filter (fun s -> String.trim s <> "")
+    with
+    | [ "faultsim"; scn ] -> fun () -> run_faultsim scn 5 2.0
+    | [ "faultsim"; scn; seeds ] ->
+        fun () -> run_faultsim scn (int_of_string seeds) 2.0
+    | [ "faultsim"; scn; seeds; t_end ] ->
+        fun () ->
+          run_faultsim scn (int_of_string seeds) (float_of_string t_end)
+    | [ "diff"; model ] -> fun () -> run_diff model 1000 None 1
+    | [ "diff"; model; steps ] ->
+        fun () -> run_diff model (int_of_string steps) None 1
+    | [ "diff"; model; steps; scn ] ->
+        fun () -> run_diff model (int_of_string steps) (Some scn) 1
+    | [ "diff"; model; steps; scn; seed ] ->
+        fun () ->
+          run_diff model (int_of_string steps) (Some scn)
+            (int_of_string seed)
+    | _ ->
+        fun () ->
+          failwith (Printf.sprintf "bad job line (expected: %s)" serve_usage)
+  in
+  let submit_job id line =
+    Mutex.lock lock;
+    incr pending;
+    Mutex.unlock lock;
+    Exec_pool.submit pool (fun () ->
+        let fields =
+          try parse_job line ()
+          with e ->
+            [
+              ("job", Str "error");
+              ("error", Str (Printexc.to_string e));
+              ("exit", Int 2);
+            ]
+        in
+        emit id (to_string (Obj (("id", Int id) :: fields))))
+  in
+  let rec read_loop id =
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | line ->
+        let l = String.trim line in
+        if l = "" || l.[0] = '#' then read_loop id
+        else begin
+          submit_job id l;
+          read_loop (id + 1)
+        end
+  in
+  read_loop 0;
+  (* shutdown drops queued injector tasks, so drain first *)
+  Mutex.lock lock;
+  while !pending > 0 do
+    Condition.wait drained lock
+  done;
+  Mutex.unlock lock;
+  Exec_pool.shutdown pool;
+  0
+
+let serve_cmd =
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains (default 0: one per recommended domain, i.e. \
+             the machine's cores).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Campaign queue mode: read jobs from stdin (one per line: \
+          $(b,faultsim SCENARIO [SEEDS [T_END]]) or $(b,diff MODEL [STEPS \
+          [SCENARIO [SEED]]])), run them on a work-stealing domain pool \
+          and stream one JSON result line per job on stdout, in \
+          submission order. Blank lines and $(b,#) comments are skipped.")
+    Term.(const serve $ mcu_arg $ period_arg $ fixed_arg $ jobs)
 
 (* ---- analyze ---- *)
 
@@ -779,4 +1103,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ inspect_cmd; mil_cmd; codegen_cmd; pil_cmd; diff_cmd; faultsim_cmd;
-            check_cmd; simgen_cmd; analyze_cmd; mcus_cmd ]))
+            serve_cmd; check_cmd; simgen_cmd; analyze_cmd; mcus_cmd ]))

@@ -324,7 +324,9 @@ let faultsim_subject ?(config = default_config) ~scenario () =
   in
   let cfg = { config with with_supervisor = true; load } in
   let built = build ~config:cfg () in
-  let comp = Compile.compile built.closed_loop in
+  (* campaigns build one subject per worker domain — the content-hashed
+     cache collapses those to a single compile per distinct model *)
+  let comp = Compile_cache.compile built.closed_loop in
   let sim = Sim.create ~solver_substeps:(solver_substeps_for built comp) comp in
   let find n = Model.find built.closed_loop n in
   let subject =

@@ -1,0 +1,22 @@
+(** Content-hashed compile cache: deduplicate identical (model, config)
+    compiles across campaign jobs and worker domains.
+
+    {!digest} hashes everything the compiler observes — block kinds,
+    parameters, port/event wiring, sample times, group membership —
+    but not behaviour closures (behaviour is a function of kind and
+    parameters). Two independently constructed but structurally
+    identical models therefore share one compiled artifact, which is
+    immutable and safe to read from any domain. *)
+
+val digest : Model.t -> string
+(** Hex content hash of the model's compile-relevant structure. *)
+
+val compile : ?default_dt:float -> Model.t -> Compile.t
+(** Memoized [Compile.compile], keyed on [digest model] and
+    [default_dt]. Thread-safe; a first-compile race may duplicate work
+    but never blocks other keys and always returns the cached winner. *)
+
+val stats : unit -> int * int
+(** [(hits, misses)] since start or {!clear}. *)
+
+val clear : unit -> unit

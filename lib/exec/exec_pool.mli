@@ -1,0 +1,46 @@
+(** Work-stealing domain pool: the campaign job engine.
+
+    A fixed set of worker domains, one {!Wsdeque} each, plus an
+    injector queue for outside submissions. Two front doors:
+
+    - {!run_map} — fork-join: evaluate [f 0 .. f (n-1)] across the
+      pool and return the results in index order. The range splits
+      recursively through the deques, so load balances by stealing;
+      results land in their slots regardless of which domain computed
+      them, making the output deterministic under any schedule.
+    - {!submit} — fire-and-forget: queue a task for whichever worker
+      picks it up first ([ecsd serve]'s entry point; ordering is the
+      caller's business).
+
+    Workers publish their observability sinks ({!Obs.publish}) when a
+    fork-join leaf completes and when they go idle, so campaign
+    counters and histograms survive the pool. *)
+
+type t
+
+val create : ?workers:int -> unit -> t
+(** Spawn [workers] domains (default
+    [Domain.recommended_domain_count ()]). *)
+
+val with_pool : ?workers:int -> (t -> 'a) -> 'a
+(** [create], run, always {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Stop accepting scheduled work, wake every worker and join their
+    domains. Idempotent. Pending injector tasks are dropped; in-flight
+    tasks complete. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val run_map : t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+(** [run_map pool n f] evaluates [f] at [0..n-1] on the pool and
+    returns [[| f 0; ...; f (n-1) |]]. Blocks the calling domain until
+    all leaves finish. [chunk] (default 1) is the largest index range
+    one leaf executes serially. If any [f i] raises, the exception of
+    the {e lowest} failing index is re-raised here (after all leaves
+    have finished) — deterministic under any schedule. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Queue one task. Exceptions escaping it are reported on stderr and
+    swallowed — wrap the body if you need the error. *)

@@ -1,0 +1,92 @@
+(* Chase-Lev work-stealing deque on OCaml 5 atomics.
+
+   One owner domain pushes and pops at the bottom (LIFO — good locality
+   for fork-join splits); any other domain steals from the top (FIFO —
+   thieves take the oldest, largest-granularity task). [top] only ever
+   increases, so the compare-and-set on it cannot ABA. The backing
+   array lives behind an [Atomic.t] so a thief that races an owner-side
+   grow still reads a consistent (array, mask) pair; the old array is
+   never mutated after a grow, and slot values written before the
+   [Atomic.set] of [bottom] are published to thieves by that fence. *)
+
+type 'a buf = { tab : 'a option array; mask : int }
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : 'a buf Atomic.t;
+}
+
+let buf_make cap = { tab = Array.make cap None; mask = cap - 1 }
+let buf_get b i = b.tab.(i land b.mask)
+let buf_set b i v = b.tab.(i land b.mask) <- v
+
+let create ?(capacity = 64) () =
+  if capacity < 1 then invalid_arg "Wsdeque.create";
+  let cap = ref 1 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  { top = Atomic.make 0; bottom = Atomic.make 0; buf = Atomic.make (buf_make !cap) }
+
+let size q =
+  let b = Atomic.get q.bottom and t = Atomic.get q.top in
+  max 0 (b - t)
+
+let grow q t b =
+  let old = Atomic.get q.buf in
+  let nu = buf_make (2 * (old.mask + 1)) in
+  for i = t to b - 1 do
+    buf_set nu i (buf_get old i)
+  done;
+  Atomic.set q.buf nu;
+  nu
+
+(* owner only *)
+let push q v =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  let buf = Atomic.get q.buf in
+  let buf = if b - t > buf.mask then grow q t b else buf in
+  buf_set buf b (Some v);
+  Atomic.set q.bottom (b + 1)
+
+(* owner only *)
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* empty: restore the canonical empty state *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else begin
+    let buf = Atomic.get q.buf in
+    let v = buf_get buf b in
+    if b > t then begin
+      buf_set buf b None;
+      v
+    end
+    else begin
+      (* last element: race the thieves for it via top *)
+      let won = Atomic.compare_and_set q.top t (t + 1) in
+      Atomic.set q.bottom (t + 1);
+      if won then begin
+        buf_set buf b None;
+        v
+      end
+      else None
+    end
+  end
+
+(* any domain *)
+let steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if b - t <= 0 then None
+  else begin
+    let buf = Atomic.get q.buf in
+    let v = buf_get buf t in
+    if Atomic.compare_and_set q.top t (t + 1) then v else None
+  end

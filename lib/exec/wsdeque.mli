@@ -1,0 +1,31 @@
+(** Chase-Lev work-stealing deque.
+
+    Single-owner double-ended queue: the owner domain {!push}es and
+    {!pop}s at the bottom (LIFO), other domains {!steal} from the top
+    (FIFO). Lock-free — the only synchronisation is a compare-and-set
+    on the monotonically increasing top index, so a steal and a pop of
+    the last element race safely and exactly one side wins.
+
+    The pop/steal results are options rather than exceptions: an empty
+    answer is the common case in a scheduler's scavenging loop. A lost
+    steal race also reports [None] — callers retry or move to the next
+    victim, which is what a work-stealing scheduler wants to do anyway. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** [capacity] (default 64, rounded up to a power of two) is only the
+    initial size — the owner grows the backing array as needed. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: newest element, [None] when empty (or when the very
+    last element was lost to a concurrent thief). *)
+
+val steal : 'a t -> 'a option
+(** Any domain: oldest element, [None] when empty or on a lost race. *)
+
+val size : 'a t -> int
+(** Snapshot of the current length — advisory under concurrency. *)

@@ -114,6 +114,11 @@ let one_run subject ~scenario ~seed ~steps ~period ~t_end ~wdog_timeout =
     wdog_bites;
   }
 
+(* wall_s is the one timing-dependent field of the campaign document;
+   ECSD_WALL_ZERO=1 zeroes it so CI can assert a --jobs N report
+   byte-identical to the --jobs 1 one with plain cmp. *)
+let wall s = if Sys.getenv_opt "ECSD_WALL_ZERO" = None then s else 0.0
+
 let run ?(t_end = 2.0) ?(seeds = 5) ?wdog_timeout ~scenario subject =
   let period = Sim.base_dt subject.sim in
   let wdog_timeout =
@@ -126,8 +131,44 @@ let run ?(t_end = 2.0) ?(seeds = 5) ?wdog_timeout ~scenario subject =
         one_run subject ~scenario ~seed:(i + 1) ~steps ~period ~t_end
           ~wdog_timeout)
   in
-  let wall_s = (Obs.now_ns () -. t0) *. 1e-9 in
+  let wall_s = wall ((Obs.now_ns () -. t0) *. 1e-9) in
   { scenario; t_end; period; runs; steps_per_run = steps; wall_s }
+
+let run_parallel ?(t_end = 2.0) ?(seeds = 5) ?wdog_timeout ~pool ~scenario
+    mk_subject =
+  (* Every domain — workers and this one — lazily builds its own
+     subject: Sim state is mutable and must stay domain-local. The
+     probe below runs on the calling domain, warming the compile cache
+     so the workers' builds dedup against it; per-seed runs are then
+     sharded by [Exec_pool.run_map], whose results land in index order,
+     so the merged report is identical to the sequential one (runs are
+     seed-deterministic and independent — [one_run] starts from
+     [Sim.reset]) no matter which domain computed what. *)
+  let subj_key = Domain.DLS.new_key mk_subject in
+  let period, steps, wdog_timeout =
+    let probe = Domain.DLS.get subj_key in
+    let period = Sim.base_dt probe.sim in
+    let wdog_timeout =
+      match wdog_timeout with Some t -> t | None -> 8.0 *. period
+    in
+    (period, int_of_float ((t_end /. period) +. 0.5), wdog_timeout)
+  in
+  let t0 = Obs.now_ns () in
+  let runs =
+    Exec_pool.run_map pool seeds (fun i ->
+        let subject = Domain.DLS.get subj_key in
+        one_run subject ~scenario ~seed:(i + 1) ~steps ~period ~t_end
+          ~wdog_timeout)
+  in
+  let wall_s = wall ((Obs.now_ns () -. t0) *. 1e-9) in
+  {
+    scenario;
+    t_end;
+    period;
+    runs = Array.to_list runs;
+    steps_per_run = steps;
+    wall_s;
+  }
 
 let throughput ?scenario ~steps subject =
   Sim.reset subject.sim;

@@ -68,6 +68,23 @@ val run :
     injected overruns stretch the step's cycle budget so a long enough
     burst starves the watchdog exactly as it would on the bench. *)
 
+val run_parallel :
+  ?t_end:float ->
+  ?seeds:int ->
+  ?wdog_timeout:float ->
+  pool:Exec_pool.t ->
+  scenario:Fault_scenario.t ->
+  (unit -> subject) ->
+  result
+(** {!run} sharded across a work-stealing domain pool: the seed range
+    splits over the pool's workers, each domain lazily building its own
+    subject through [mk_subject] (simulation state is mutable and must
+    stay domain-local — the compile inside dedups through
+    {!Compile_cache}). Per-seed runs are independent and
+    seed-deterministic, and results merge in seed order, so the report
+    equals the sequential one field-for-field except [wall_s]
+    (set [ECSD_WALL_ZERO=1] to zero that too and compare bytes). *)
+
 val throughput : ?scenario:Fault_scenario.t -> steps:int -> subject -> float
 (** Steps per second over a fresh run, armed with [scenario] when given
     and unarmed otherwise — the P10 bench measuring the injection

@@ -12,6 +12,17 @@ type t = {
   sd : int;
   rng : int64 ref;
   last : (int, int) Hashtbl.t;  (* slot -> last clean code, for stuck *)
+  (* Active-set cache: the scenario-ordered sublist of faults whose
+     window covers [cache_time], valid for every query time in
+     [cache_time, cache_until). With one-shot faults (all the builtin
+     scenarios) the cache survives whole quiescent or steady-active
+     stretches; a periodic fault collapses [cache_until] to [cache_time],
+     i.e. a per-instant memo — still one filter per step instead of one
+     per port write, since the engine calls the hook with a constant
+     time within a step. *)
+  mutable cache_time : float;
+  mutable cache_until : float;
+  mutable cache_active : Fault.t list;
 }
 
 let arm ?(seed = 1) scn =
@@ -20,6 +31,10 @@ let arm ?(seed = 1) scn =
     sd = seed;
     rng = ref (Int64.of_int (0x5DEECE66D + (seed * 0x9E3779B9)));
     last = Hashtbl.create 4;
+    cache_time = nan;  (* nan compares false to everything: first
+                          query always recomputes *)
+    cache_until = nan;
+    cache_active = [];
   }
 
 let scenario t = t.scn
@@ -44,10 +59,28 @@ let rand_pm t n =
   if n <= 0 then 0
   else int_of_float (uniform01 t *. float_of_int ((2 * n) + 1)) - n
 
+(* [List.filter] preserves scenario order, so folding the cached
+   sublist applies faults — and advances the RNG — in exactly the same
+   sequence as filtering inline did: seeded replays are unaffected. *)
+let refresh t ~time =
+  if not (time = t.cache_time || (time > t.cache_time && time < t.cache_until))
+  then begin
+    let faults = t.scn.Fault_scenario.faults in
+    t.cache_active <- List.filter (fun fl -> Fault.active fl ~time) faults;
+    t.cache_time <- time;
+    t.cache_until <-
+      List.fold_left
+        (fun acc fl -> Float.min acc (Fault.next_transition fl ~time))
+        infinity faults
+  end
+
+let quiescent t ~time =
+  refresh t ~time;
+  t.cache_active = []
+
 let fold_active t ~time f init =
-  List.fold_left
-    (fun acc fl -> if Fault.active fl ~time then f acc fl else acc)
-    init t.scn.Fault_scenario.faults
+  refresh t ~time;
+  List.fold_left f init t.cache_active
 
 let sensor t ~slot ~time v =
   let stuck = ref false in
@@ -139,18 +172,31 @@ let sim_hook t ~sensor_ports ?duty_port () =
       (fun slot bp -> Hashtbl.replace sensors (key bp) slot)
       sensor_ports;
     let dk = Option.map key duty_port in
+    (* Sensor_stuck freezes at the last value [sensor] returned while
+       the fault was inactive, so slots carrying a stuck fault must keep
+       flowing through [sensor] even in quiescent stretches to refresh
+       [t.last]. Scenarios without stuck faults take the cheap exit: one
+       cached-window check per write instead of a fold plus a hashtable
+       probe — this is where the armed-campaign overhead was going. *)
+    let track_stuck =
+      List.exists
+        (fun fl -> fl.Fault.kind = Fault.Sensor_stuck)
+        t.scn.Fault_scenario.faults
+    in
     Some
       (fun ~time bp v ->
-        let k = key bp in
-        match Hashtbl.find_opt sensors k with
-        | Some slot -> (
-            match v with
-            | Value.I (dt, c) -> Value.of_int dt (sensor t ~slot ~time c)
-            | v -> v)
-        | None -> (
-            if dk <> Some k then v
-            else
+        if (not track_stuck) && quiescent t ~time then v
+        else
+          let k = key bp in
+          match Hashtbl.find_opt sensors k with
+          | Some slot -> (
               match v with
-              | Value.F u -> Value.F (duty t ~time u)
-              | v -> v))
+              | Value.I (dt, c) -> Value.of_int dt (sensor t ~slot ~time c)
+              | v -> v)
+          | None -> (
+              if dk <> Some k then v
+              else
+                match v with
+                | Value.F u -> Value.F (duty t ~time u)
+                | v -> v))
   end

@@ -7,7 +7,15 @@
     seed, so a campaign run is replayed exactly by re-arming with the
     same seed. The injector itself is engine-agnostic: the MIL engine
     attaches it through {!sim_hook}, the SIL/PIL harnesses call
-    {!sensor} / {!overrun_cycles} / {!wdog_suppressed} directly. *)
+    {!sensor} / {!overrun_cycles} / {!wdog_suppressed} directly.
+
+    The per-query activity scan is hoisted out of the hot path: the
+    injector caches the scenario-ordered active sublist together with
+    the exact window edge ({!Fault.next_transition}) up to which it
+    stays valid, so an armed run pays one filter per window transition
+    (one-shot faults) or per step (periodic faults) instead of one
+    fold over the whole scenario per port write. The cache changes
+    neither results nor the RNG stream. *)
 
 type t
 

@@ -12,7 +12,16 @@
     disabled: each entry point checks {!enabled} once and the disabled
     path performs no allocation, no clock read and no hash lookup, so
     instrumented hot loops (the MIL engine's [Sim.step]) keep their
-    golden-trace semantics and their speed. *)
+    golden-trace semantics and their speed.
+
+    {b Multicore:} collection state is domain-local. Each domain records
+    into a private sink with no synchronisation on the hot path; worker
+    domains fold their sink into a process-wide aggregate with
+    {!publish} (the campaign pool does this once per job), and all read
+    APIs report the calling domain's sink merged with that aggregate.
+    {!Export.merge} — the merge underneath — is associative and, on
+    counters and histogram buckets, commutative, so campaign totals do
+    not depend on which domain ran which job. *)
 
 (** {2 Master switch} *)
 
@@ -122,6 +131,46 @@ type snapshot = {
 }
 
 val snapshot : unit -> snapshot
+(** The calling domain's sink merged with the published aggregate; all
+    registered counter/histogram names appear (zeros included), sorted. *)
+
 val reset : unit -> unit
-(** Zero all counters/gauges/histograms and clear the span ring.
-    Registered names survive (handles stay valid). *)
+(** Zero the calling domain's sink and the published aggregate.
+    Registered names survive (handles stay valid). Other domains' local
+    sinks are untouched — workers clear theirs when they {!publish}. *)
+
+(** {2 Cross-domain aggregation} *)
+
+val publish : unit -> unit
+(** Fold the calling domain's sink into the process-wide published
+    aggregate and clear the local sink. Worker domains call this when a
+    campaign job completes (and before exiting), so the spawning domain
+    sees their counts. Takes one mutex — keep it off per-step paths. *)
+
+(** Immutable sink snapshots with a deterministic merge: the unit of
+    data the campaign pool moves between domains, exposed for tests and
+    tooling. [merge] is associative; counter sums and histogram bucket
+    sums are also commutative, so any merge tree over the same exports
+    yields the same totals. Spans merge into a deterministic total
+    order (start time, then duration/name/depth/count). Gauges merge
+    with [Float.max]. *)
+module Export : sig
+  type t
+
+  val empty : t
+  val of_local : unit -> t
+  (** Snapshot the calling domain's sink (published data excluded). *)
+
+  val of_published : unit -> t
+  val merge : t -> t -> t
+
+  val counters : t -> (string * int) list
+  (** Sorted by name; zero-valued counters omitted. *)
+
+  val gauges : t -> (string * float) list
+  val hists : t -> (string * hist_summary) list
+  val spans : t -> span list
+
+  val absorb : t -> unit
+  (** Fold an export into the published aggregate. *)
+end

@@ -30,4 +30,5 @@ let () =
       ("analysis", Test_analysis.suite);
       ("silvm", Test_silvm.suite);
       ("fault", Test_fault.suite);
+      ("exec", Test_exec.suite);
     ]

@@ -160,6 +160,46 @@ let test_injector_determinism () =
   Alcotest.(check (float 1e-12)) "saturation passes small" 0.1
     (Fault_inject.duty sat ~time:0.5 0.1)
 
+(* the injector memoizes the active sublist per window; every answer
+   must still match the Fault.active predicate — across one-shot and
+   periodic windows, and after non-monotonic queries (each campaign run
+   rewinds time to zero) *)
+let test_injector_cache_equivalence () =
+  let f1 = Fault.make ~at:0.2 ~duration:0.2 (Fault.Sensor_offset 10) in
+  let f2 =
+    Fault.make ~every:0.5 ~at:0.05 ~duration:0.1 (Fault.Sensor_offset 300)
+  in
+  let inj = Fault_inject.arm (scn [ f1; f2 ]) in
+  let expected time =
+    List.fold_left
+      (fun v f ->
+        match f.Fault.kind with
+        | Fault.Sensor_offset d when Fault.active f ~time -> v + d
+        | _ -> v)
+      1000 [ f1; f2 ]
+  in
+  for k = 0 to 1200 do
+    let time = float_of_int k *. 1e-3 in
+    check_int
+      (Printf.sprintf "t=%g" time)
+      (expected time)
+      (Fault_inject.sensor inj ~slot:0 ~time 1000)
+  done;
+  (* rewinding time must invalidate the cached window *)
+  check_int "rewound inside the one-shot window" 1010
+    (Fault_inject.sensor inj ~slot:0 ~time:0.3 1000);
+  check_int "rewound before every onset" 1000
+    (Fault_inject.sensor inj ~slot:0 ~time:0.0 1000);
+  (* next_transition edges are the exact float window bounds *)
+  Alcotest.(check (float 0.0)) "edge: onset" 0.2
+    (Fault.next_transition f1 ~time:0.1);
+  Alcotest.(check (float 0.0)) "edge: clear" (0.2 +. 0.2)
+    (Fault.next_transition f1 ~time:0.25);
+  check_bool "edge: gone for good" true
+    (Fault.next_transition f1 ~time:0.5 = infinity);
+  Alcotest.(check (float 0.0)) "periodic: revalidate every instant" 0.3
+    (Fault.next_transition f2 ~time:0.3)
+
 let test_unarmed_identity () =
   (* an empty scenario arms nothing at all *)
   check_bool "empty scenario installs no hook" true
@@ -217,6 +257,28 @@ let test_campaign_dropout () =
       check_bool "tracks the set-point again" true
         (run.Fault_campaign.residual_rms < 20.0))
     r.Fault_campaign.runs
+
+(* the sharded campaign must reproduce the sequential one run-for-run:
+   seeds are independent, results land in seed order, and each worker
+   domain builds its own subject *)
+let test_parallel_campaign_matches_sequential () =
+  let scenario =
+    match Fault_scenario.find "encoder-dropout" with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let subject, _ = Servo_system.faultsim_subject ~scenario () in
+  let seq = Fault_campaign.run ~t_end:0.4 ~seeds:6 ~scenario subject in
+  let par =
+    Exec_pool.with_pool ~workers:3 (fun pool ->
+        Fault_campaign.run_parallel ~t_end:0.4 ~seeds:6 ~pool ~scenario
+          (fun () -> fst (Servo_system.faultsim_subject ~scenario ())))
+  in
+  check_int "same number of runs" 6 (List.length par.Fault_campaign.runs);
+  check_bool "identical run lists" true
+    (seq.Fault_campaign.runs = par.Fault_campaign.runs);
+  check_int "same steps per run" seq.Fault_campaign.steps_per_run
+    par.Fault_campaign.steps_per_run
 
 let test_campaign_stuck_reaches_safestop () =
   let r = campaign "sensor-stuck" in
@@ -383,9 +445,13 @@ let suite =
     Alcotest.test_case "injector: sensor kinds" `Quick test_injector_sensor;
     Alcotest.test_case "injector: seeds and actuators" `Quick
       test_injector_determinism;
+    Alcotest.test_case "injector: cache matches Fault.active" `Quick
+      test_injector_cache_equivalence;
     Alcotest.test_case "unarmed hooks are identity" `Quick test_unarmed_identity;
     Alcotest.test_case "campaign: encoder dropout recovers" `Quick
       test_campaign_dropout;
+    Alcotest.test_case "campaign: parallel matches sequential" `Quick
+      test_parallel_campaign_matches_sequential;
     Alcotest.test_case "campaign: stuck sensor reaches SafeStop" `Quick
       test_campaign_stuck_reaches_safestop;
     Alcotest.test_case "campaign: timing faults bite the watchdog" `Quick
