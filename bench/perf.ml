@@ -237,6 +237,43 @@ let bench_json () =
   if r1.Fault_campaign.runs <> r4.Fault_campaign.runs then
     failwith "P11: --jobs 4 campaign differs from --jobs 1";
   let speedup = if wall4 > 0.0 then wall1 /. wall4 else 0.0 in
+  (* P12: MIR optimization-pass ablation — the same servo controller
+     generated with and without --opt: emitted code size and SIL
+     interpreter throughput, with the MIL<->SIL diff re-run on the
+     optimized build as the bit-exactness witness *)
+  let gen_loc opt =
+    let arts =
+      Target.generate ~opt ~name:"servo"
+        ~project:built_pil.Servo_system.project comp_pil
+    in
+    let count u =
+      String.fold_left
+        (fun n c -> if c = '\n' then n + 1 else n)
+        0
+        (C_print.print_unit u)
+    in
+    count arts.Target.model_c + count arts.Target.main_c
+  in
+  let loc_noopt = gen_loc false and loc_opt = gen_loc true in
+  let diff_opt =
+    Silvm_diff.run ~steps:diff_steps ~opt:true
+      ~plant:
+        (Silvm_diff.Plant
+           (Servo_system.pil_plant built_pil, Servo_system.pil_driver built_pil))
+      ~name:"servo" ~project:built_pil.Servo_system.project comp_diff
+  in
+  (match diff_opt.Silvm_diff.divergence with
+  | None -> ()
+  | Some d ->
+      failwith
+        (Printf.sprintf "P12: --opt MIL/SIL divergence at step %d on %s"
+           d.Silvm_diff.d_step d.Silvm_diff.d_block));
+  let opt_rate =
+    if diff_opt.Silvm_diff.sil_seconds > 0.0 then
+      float_of_int diff_opt.Silvm_diff.steps_run
+      /. diff_opt.Silvm_diff.sil_seconds
+    else 0.0
+  in
   Obs.set_enabled false;
   let snap = Obs.snapshot () in
   let extra =
@@ -274,6 +311,15 @@ let bench_json () =
               Bench_json.Int (Domain.recommended_domain_count ()) );
             ("identical_reports", Bench_json.Bool true);
           ] );
+      ( "mir_opt",
+        Bench_json.Obj
+          [
+            ("generated_loc_noopt", Bench_json.Int loc_noopt);
+            ("generated_loc_opt", Bench_json.Int loc_opt);
+            ("sil_steps_per_s_noopt", Bench_json.Float sil_rate);
+            ("sil_steps_per_s_opt", Bench_json.Float opt_rate);
+            ("opt_divergences", Bench_json.Int 0);
+          ] );
     ]
   in
   let doc = Bench_json.bench ~name:"perf" ~steps ~wall_s ~extra snap in
@@ -304,6 +350,10 @@ let bench_json () =
      (%.2fx, %d domains available, reports identical)\n"
     scaling_seeds wall1 wall4 speedup
     (Domain.recommended_domain_count ());
+  Printf.printf
+    "P12 MIR opt ablation (servo): %d -> %d generated LoC, %.0f -> %.0f SIL \
+     steps/s, 0 divergences\n"
+    loc_noopt loc_opt sil_rate opt_rate;
   Printf.printf "wrote %s (git %s)\n\n" path (Bench_json.git_rev ())
 
 let run () =

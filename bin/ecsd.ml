@@ -179,15 +179,18 @@ let mil_cmd =
 
 (* ---- codegen ---- *)
 
-let codegen mcu period fixed pil out_dir trace metrics =
+let codegen mcu period fixed pil opt out_dir trace metrics =
   with_obs trace metrics @@ fun () ->
   let built = build_or_fail (config mcu period fixed) in
   let comp = Compile.compile built.Servo_system.controller in
   let arts =
     try
       if pil then
-        Pil_target.generate ~name:"servo" ~project:built.Servo_system.project comp
-      else Target.generate ~name:"servo" ~project:built.Servo_system.project comp
+        Pil_target.generate ~opt ~name:"servo"
+          ~project:built.Servo_system.project comp
+      else
+        Target.generate ~opt ~name:"servo"
+          ~project:built.Servo_system.project comp
     with Target.Codegen_error msg -> die "code generation failed: %s" msg
   in
   let files = Target.write_to_dir arts ~dir:out_dir in
@@ -200,6 +203,16 @@ let codegen mcu period fixed pil out_dir trace metrics =
   Printf.printf "wrote %d files to %s\n" (List.length files) out_dir;
   0
 
+let opt_arg =
+  Arg.(
+    value & flag
+    & info [ "opt" ]
+        ~doc:
+          "Run the MIR optimization passes (constant folding, copy \
+           propagation, saturation fusion, dead-store elimination) on the \
+           model unit. The output is bit-exact with the unoptimized code; \
+           $(b,ecsd diff --opt) is the oracle.")
+
 let codegen_cmd =
   let pil = Arg.(value & flag & info [ "pil" ] ~doc:"Generate the PIL variant.") in
   let out =
@@ -210,8 +223,8 @@ let codegen_cmd =
   Cmd.v
     (Cmd.info "codegen" ~doc:"Generate the embedded application (PEERT, Fig 6.1)")
     Term.(
-      const codegen $ mcu_arg $ period_arg $ fixed_arg $ pil $ out $ trace_arg
-      $ metrics_arg)
+      const codegen $ mcu_arg $ period_arg $ fixed_arg $ pil $ opt_arg $ out
+      $ trace_arg $ metrics_arg)
 
 (* ---- pil ---- *)
 
@@ -308,8 +321,8 @@ let divergence_json (d : Silvm_diff.divergence option) =
    compile dedups through the content-hashed cache); reports merge in
    seed order, so the sweep output — table and JSON, which carries no
    timing field — is identical whatever --jobs is. *)
-let diff_sweep ~cfg ~mcu ~float_mode ~steps ~ulp ~scenario ~seeds ~jobs ~json
-    model_name =
+let diff_sweep ~cfg ~mcu ~float_mode ~opt ~steps ~ulp ~scenario ~seeds ~jobs
+    ~json model_name =
   let mk_ctx () =
     match model_name with
     | "servo" ->
@@ -329,12 +342,12 @@ let diff_sweep ~cfg ~mcu ~float_mode ~steps ~ulp ~scenario ~seeds ~jobs ~json
       | `Servo (built, comp) ->
           let plant = Servo_system.pil_plant built in
           let driver = Servo_system.pil_driver built in
-          Silvm_diff.run ~steps ~float_mode
+          Silvm_diff.run ~steps ~float_mode ~opt
             ~plant:(Silvm_diff.Plant (plant, driver))
             ?injector ~name:"servo" ~project:built.Servo_system.project comp
       | `Isr (project, comp) ->
           let stimulus k = [| k * 37 mod 4096 |] in
-          Silvm_diff.run ~steps ~float_mode ~stimulus ?injector
+          Silvm_diff.run ~steps ~float_mode ~opt ~stimulus ?injector
             ~name:"isr_demo" ~project comp
     with Target.Codegen_error msg -> die "code generation failed: %s" msg
   in
@@ -405,8 +418,8 @@ let diff_sweep ~cfg ~mcu ~float_mode ~steps ~ulp ~scenario ~seeds ~jobs ~json
      Printf.printf "JSON report written to %s\n" path);
   if diverged = 0 then 0 else 1
 
-let diff mcu period fixed model_name steps ulp scenario_ref fault_seed seeds
-    jobs json trace metrics =
+let diff mcu period fixed model_name steps ulp opt scenario_ref fault_seed
+    seeds jobs json trace metrics =
   with_obs trace metrics @@ fun () ->
   let scenario = Option.map scenario_or_die scenario_ref in
   let injector = Option.map (fun s -> injector_of s fault_seed) scenario in
@@ -420,8 +433,8 @@ let diff mcu period fixed model_name steps ulp scenario_ref fault_seed seeds
     match scenario with
     | None -> die "--seeds %d: a seed sweep varies the fault stream; give --scenario" seeds
     | Some scn ->
-        diff_sweep ~cfg ~mcu ~float_mode ~steps ~ulp ~scenario:scn ~seeds ~jobs
-          ~json model_name
+        diff_sweep ~cfg ~mcu ~float_mode ~opt ~steps ~ulp ~scenario:scn ~seeds
+          ~jobs ~json model_name
   else
   let name, report =
     try
@@ -432,7 +445,7 @@ let diff mcu period fixed model_name steps ulp scenario_ref fault_seed seeds
           let plant = Servo_system.pil_plant built in
           let driver = Servo_system.pil_driver built in
           ( "servo",
-            Silvm_diff.run ~steps ~float_mode
+            Silvm_diff.run ~steps ~float_mode ~opt
               ~plant:(Silvm_diff.Plant (plant, driver))
               ?injector ~name:"servo" ~project:built.Servo_system.project comp )
       | "isr-demo" ->
@@ -441,7 +454,7 @@ let diff mcu period fixed model_name steps ulp scenario_ref fault_seed seeds
           (* deterministic sweep across the 12-bit ADC range *)
           let stimulus k = [| k * 37 mod 4096 |] in
           ( "isr_demo",
-            Silvm_diff.run ~steps ~float_mode ~stimulus ?injector
+            Silvm_diff.run ~steps ~float_mode ~opt ~stimulus ?injector
               ~name:"isr_demo" ~project comp )
       | other -> die "unknown model %S (choose servo or isr-demo)" other
     with Target.Codegen_error msg -> die "code generation failed: %s" msg
@@ -561,7 +574,7 @@ let diff_cmd =
           first diverging block output")
     Term.(
       const diff $ mcu_arg $ period_arg $ fixed_arg $ model_arg $ steps $ ulp
-      $ scenario $ fault_seed $ seeds $ jobs_arg $ json $ trace_arg
+      $ opt_arg $ scenario $ fault_seed $ seeds $ jobs_arg $ json $ trace_arg
       $ metrics_arg)
 
 (* ---- faultsim ---- *)
@@ -939,28 +952,45 @@ let analyze_cmd =
 
 (* ---- check ---- *)
 
-let check mcu period fixed model_name preemptive rules suppress json strict =
-  let cfg = config mcu period fixed in
-  let model, project =
-    match model_name with
-    | "servo" ->
-        let built = build_or_fail cfg in
-        (built.Servo_system.controller, Some built.Servo_system.project)
-    | "closed-loop" ->
-        let built = build_or_fail cfg in
-        (built.Servo_system.closed_loop, Some built.Servo_system.project)
-    | "plant" -> (Servo_system.plant_model cfg, None)
-    | "isr-demo" ->
-        let m, p = Check.hazard_demo ~mcu () in
-        (m, Some p)
-    | other ->
-        die "unknown model %S (choose servo, closed-loop, plant or isr-demo)"
-          other
+let check_models = [ "servo"; "closed-loop"; "plant"; "isr-demo" ]
+
+(* Several models shard over a domain pool like `diff --sweep`: each
+   worker builds its own model (compiles dedup through the cache) and
+   the reports print in argument order, so stdout and the JSON file are
+   byte-identical whatever --jobs is. *)
+let check mcu period fixed model_name preemptive rules suppress jobs json
+    strict =
+  let model_names =
+    if model_name = "all" then check_models
+    else
+      String.split_on_char ',' model_name
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
   in
+  if model_names = [] then die "no model named in %S" model_name;
+  List.iter
+    (fun m ->
+      if not (List.mem m check_models) then
+        die
+          "unknown model %S (choose servo, closed-loop, plant, isr-demo, a \
+           comma-separated list of those, or all)"
+          m)
+    model_names;
   let rules =
     match rules with
     | None -> None
-    | Some list -> Some (String.split_on_char ',' list |> List.map String.trim)
+    | Some list ->
+        let pats = String.split_on_char ',' list |> List.map String.trim in
+        List.iter
+          (fun r ->
+            if
+              not
+                (List.exists
+                   (fun ri -> ri.Diag.id = r || ri.Diag.family = r)
+                   Diag.catalogue)
+            then die "unknown rule %S in --rules" r)
+          pats;
+        Some pats
   in
   let suppress =
     List.map
@@ -970,14 +1000,54 @@ let check mcu period fixed model_name preemptive rules suppress json strict =
         | Error msg -> die "--suppress %s: %s" s msg)
       suppress
   in
-  let report = Check.run ?rules ~suppress ~preemptive ?project model in
-  print_string (Check.render report);
+  (* die on a bad --mcu/--period before any worker domain spawns *)
+  let cfg = config mcu period fixed in
+  if List.exists (fun m -> m <> "plant" && m <> "isr-demo") model_names then
+    ignore (build_or_fail cfg);
+  let check_one name =
+    let model, project =
+      match name with
+      | "servo" ->
+          let built = build_or_fail cfg in
+          (built.Servo_system.controller, Some built.Servo_system.project)
+      | "closed-loop" ->
+          let built = build_or_fail cfg in
+          (built.Servo_system.closed_loop, Some built.Servo_system.project)
+      | "plant" -> (Servo_system.plant_model cfg, None)
+      | "isr-demo" ->
+          let m, p = Check.hazard_demo ~mcu () in
+          (m, Some p)
+      | _ -> assert false
+    in
+    Check.run ?rules ~suppress ~preemptive ?project model
+  in
+  let names = Array.of_list model_names in
+  let n = Array.length names in
+  let reports =
+    if jobs <= 1 || n <= 1 then Array.init n (fun i -> check_one names.(i))
+    else
+      Exec_pool.with_pool ~workers:(min jobs n) (fun pool ->
+          Exec_pool.run_map pool ~chunk:1 n (fun i -> check_one names.(i)))
+  in
+  Array.iter (fun r -> print_string (Check.render r)) reports;
   (match json with
   | Some path ->
-      Bench_json.write ~path (Check.to_json report);
+      let doc =
+        if n = 1 then Check.to_json reports.(0)
+        else
+          Bench_json.Obj
+            [
+              ("schema", Bench_json.Str "ecsd-check-multi-1");
+              ("git_rev", Bench_json.Str (Bench_json.git_rev ()));
+              ( "reports",
+                Bench_json.Arr
+                  (Array.to_list (Array.map Check.to_json reports)) );
+            ]
+      in
+      Bench_json.write ~path doc;
       Printf.printf "JSON report written to %s\n" path
   | None -> ());
-  Check.exit_code ~strict report
+  Array.fold_left (fun acc r -> max acc (Check.exit_code ~strict r)) 0 reports
 
 let check_cmd =
   let model_arg =
@@ -986,9 +1056,12 @@ let check_cmd =
       & pos 0 string "servo"
       & info [] ~docv:"MODEL"
           ~doc:
-            "Model to check: $(b,servo) (the controller), $(b,closed-loop), \
-             $(b,plant), or $(b,isr-demo) (a model with an injected ISR \
-             shared-state hazard).")
+            "Model(s) to check: $(b,servo) (the controller), \
+             $(b,closed-loop), $(b,plant), $(b,isr-demo) (a model with an \
+             injected ISR shared-state hazard), a comma-separated list of \
+             those, or $(b,all). Several models shard across $(b,--jobs) \
+             worker domains; the output is identical whatever $(b,--jobs) \
+             is.")
   in
   let preemptive =
     Arg.(
@@ -1036,7 +1109,7 @@ let check_cmd =
           shared-state detection, MISRA-subset C lint")
     Term.(
       const check $ mcu_arg $ period_arg $ fixed_arg $ model_arg $ preemptive
-      $ rules $ suppress $ json $ strict)
+      $ rules $ suppress $ jobs_arg $ json $ strict)
 
 (* ---- simgen ---- *)
 

@@ -62,6 +62,7 @@ let run ?rules ?(suppress = []) ?(preemptive = false) ?project m =
                   Misra.lint
                     (arts.Target.model_h :: arts.Target.model_c
                    :: arts.Target.main_c :: arts.Target.hal)
+                  @ Mir_rules.findings arts
               | exception Target.Codegen_error msg ->
                   note "MISRA C lint skipped: code generation failed: %s" msg;
                   [])

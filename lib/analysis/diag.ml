@@ -47,6 +47,11 @@ let catalogue =
       Warning;
     r "CON004" "CON" "Watch_dog bean with no _Clear path in the periodic context"
       Error;
+    (* MIR def-use / value-range checks on the generated model unit *)
+    r "MIR001" "MIR" "local may be read before it is assigned" Warning;
+    r "MIR002" "MIR" "dead store: the value is never read" Info;
+    r "MIR003" "MIR" "unreachable statement" Warning;
+    r "MIR004" "MIR" "saturation-site verdict from the range prover" Info;
     (* MISRA-subset C lint *)
     r "MIS001" "MIS" "function has more than one return statement" Warning;
     r "MIS002" "MIS" "declaration shadows an outer identifier" Warning;

@@ -1,0 +1,5 @@
+(** MIR-based def-use and value-range checkers (rules MIR001–MIR004),
+    run over the generated [<model>.c] unit lifted into the typed IR.
+    See {!Mir_dfa} and {!Mir_range} for the underlying analyses. *)
+
+val findings : Target.artifacts -> Diag.finding list

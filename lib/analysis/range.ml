@@ -210,23 +210,31 @@ let transfer comp b (ins : itv option array) : itv option array =
     | "PE_BitIO_In" | "AR_BitIO_In" -> all_out (itv 0.0 1.0)
     | _ -> top_of_type
 
+(* The fixpoint engine is the shared [Dataflow.Round_robin] solver
+   (Gauss–Seidel chaotic iteration in block order): one lattice row of
+   per-port intervals per block, with the round-counter widening hook
+   carrying the original policy — a bound still moving after the graph
+   diameter has been exceeded is in a feedback loop and goes straight
+   to the type bound. *)
+module Row = struct
+  type t = itv option array
+
+  let equal = ( = )
+end
+
+module Fix = Dataflow.Round_robin (Row)
+
 let analyze comp =
   let m = comp.Compile.model in
   let n = Model.n_blocks m in
-  let blocks = Model.blocks m in
-  let clamped = Array.make n [||] in
-  let raw = Array.make n [||] in
-  List.iter
-    (fun b ->
-      let spec = Model.spec_of m b in
-      clamped.(Model.blk_index b) <- Array.make spec.Block.n_out None;
-      raw.(Model.blk_index b) <- Array.make spec.Block.n_out None)
-    blocks;
-  let input_itvs b =
+  let blocks = Array.of_list (Model.blocks m) in
+  let pos = Array.make n 0 in
+  Array.iteri (fun i b -> pos.(Model.blk_index b) <- i) blocks;
+  let input_itvs get b =
     let spec = Model.spec_of m b in
     Array.init spec.Block.n_in (fun p ->
         match Model.driver m (b, p) with
-        | Some (sb, sp) -> clamped.(Model.blk_index sb).(sp)
+        | Some (sb, sp) -> (get pos.(Model.blk_index sb)).(sp)
         | None -> None)
   in
   let clamp_port b p i =
@@ -242,53 +250,53 @@ let analyze comp =
   in
   let widen_after = n + 2 in
   let max_rounds = (2 * n) + 8 in
-  let changed = ref true in
-  let rounds = ref 0 in
-  while !changed && !rounds < max_rounds do
-    changed := false;
-    incr rounds;
-    List.iter
-      (fun b ->
-        let bi = Model.blk_index b in
-        let outs = transfer comp b (input_itvs b) in
-        Array.iteri
-          (fun p o ->
-            match o with
-            | None -> ()
-            | Some i ->
-                let i = clamp_port b p i in
-                let cur = clamped.(bi).(p) in
-                let next =
-                  match cur with None -> i | Some c -> hull c i
-                in
-                if cur <> Some next then begin
-                  let next =
-                    (* widening: a bound still moving after the graph
-                       diameter has been exceeded is in a feedback loop
-                       and goes straight to the type bound *)
-                    if !rounds <= widen_after then next
-                    else
-                      let c = match cur with Some c -> c | None -> next in
-                      clamp_port b p
-                        (itv
-                           (if next.lo < c.lo then neg_infinity else next.lo)
-                           (if next.hi > c.hi then infinity else next.hi))
-                  in
-                  if cur <> Some next then begin
-                    clamped.(bi).(p) <- Some next;
-                    changed := true
-                  end
-                end)
-          outs)
-      blocks
-  done;
+  let step ~round ~get i =
+    let b = blocks.(i) in
+    let cur = get i in
+    let outs = transfer comp b (input_itvs get b) in
+    let next = Array.copy cur in
+    Array.iteri
+      (fun p o ->
+        match o with
+        | None -> ()
+        | Some iv ->
+            let iv = clamp_port b p iv in
+            let joined =
+              match cur.(p) with None -> iv | Some c -> hull c iv
+            in
+            if cur.(p) <> Some joined then
+              next.(p) <-
+                Some
+                  (if round <= widen_after then joined
+                   else
+                     let c =
+                       match cur.(p) with Some c -> c | None -> joined
+                     in
+                     clamp_port b p
+                       (itv
+                          (if joined.lo < c.lo then neg_infinity else joined.lo)
+                          (if joined.hi > c.hi then infinity else joined.hi))))
+      outs;
+    next
+  in
+  let solution =
+    Fix.solve ~max_rounds
+      {
+        Fix.n;
+        init =
+          (fun i ->
+            Array.make (Model.spec_of m blocks.(i)).Block.n_out None);
+        transfer = step;
+      }
+  in
+  let clamped = Array.make n [||] in
+  let raw = Array.make n [||] in
+  Array.iteri (fun i b -> clamped.(Model.blk_index b) <- solution i) blocks;
   (* one final pass records the pre-clamp intervals consistently with
      the fixpoint inputs *)
-  List.iter
+  Array.iter
     (fun b ->
-      let bi = Model.blk_index b in
-      let outs = transfer comp b (input_itvs b) in
-      Array.iteri (fun p o -> raw.(bi).(p) <- o) outs)
+      raw.(Model.blk_index b) <- transfer comp b (input_itvs solution b))
     blocks;
   { comp; clamped; raw }
 

@@ -1,0 +1,135 @@
+(* Unified dataflow-analysis framework: one fixpoint engine with
+   pluggable lattices, shared by every checker.
+
+   Two solver shapes cover the repo's analyses:
+
+   - [Round_robin]: Gauss–Seidel chaotic iteration over an arbitrary
+     dependency graph with a caller-supplied widening hook driven by
+     the global round counter. The block-diagram range analysis
+     (lib/analysis/range.ml) is this solver instantiated with
+     per-block interval vectors.
+
+   - [Solve]: the classic worklist algorithm over a [Mir_cfg] control
+     flow graph, forward or backward, with per-node visit counts for
+     widening. The MIR def-use, liveness and value-range analyses are
+     instances. *)
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+end
+
+module type JOIN_LATTICE = sig
+  type t
+
+  val bottom : t  (** the "not yet visited" element *)
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+(* ---- Gauss–Seidel round-robin over an indexed node set ---- *)
+
+module Round_robin (L : LATTICE) = struct
+  type problem = {
+    n : int;  (** nodes are 0 .. n-1, visited in index order *)
+    init : int -> L.t;
+    transfer : round:int -> get:(int -> L.t) -> int -> L.t;
+        (** next state of node [i]; reads any node's current state
+            (including its own) through [get]; widening against the
+            current state belongs in here, keyed on [round] *)
+  }
+
+  (* iterate all nodes in order until a full round changes nothing, or
+     [max_rounds] is hit (termination backstop for widening-free
+     instantiations) *)
+  let solve ~max_rounds (p : problem) : int -> L.t =
+    let state = Array.init p.n p.init in
+    let get i = state.(i) in
+    let changed = ref true in
+    let round = ref 0 in
+    while !changed && !round < max_rounds do
+      incr round;
+      changed := false;
+      for i = 0 to p.n - 1 do
+        let next = p.transfer ~round:!round ~get i in
+        if not (L.equal state.(i) next) then begin
+          state.(i) <- next;
+          changed := true
+        end
+      done
+    done;
+    get
+end
+
+(* ---- worklist solver over a CFG ---- *)
+
+type direction = Forward | Backward
+
+module Solve (L : JOIN_LATTICE) = struct
+  type result = {
+    inp : L.t array;  (** fact at node entry (Forward) / exit (Backward) *)
+    out : L.t array;  (** fact after the node's transfer *)
+  }
+
+  (* [entry] seeds the boundary fact at the CFG entry (Forward) or at
+     the exit node (Backward). [transfer] maps the joined incoming
+     fact through one node. [widen] (optional) is applied to the
+     joined input after [widen_after] visits of the same node —
+     loop-breaking for infinite-height lattices. *)
+  let run ?widen ?(widen_after = 8) (dir : direction) (cfg : Mir_cfg.t)
+      ~(entry : L.t) ~(transfer : int -> L.t -> L.t) : result =
+    let n = Array.length cfg.Mir_cfg.nodes in
+    let inp = Array.make n L.bottom in
+    let out = Array.make n L.bottom in
+    let visits = Array.make n 0 in
+    let preds_of i =
+      match dir with
+      | Forward -> cfg.Mir_cfg.nodes.(i).Mir_cfg.preds
+      | Backward -> cfg.Mir_cfg.nodes.(i).Mir_cfg.succs
+    and succs_of i =
+      match dir with
+      | Forward -> cfg.Mir_cfg.nodes.(i).Mir_cfg.succs
+      | Backward -> cfg.Mir_cfg.nodes.(i).Mir_cfg.preds
+    in
+    let boundary =
+      match dir with Forward -> cfg.Mir_cfg.entry | Backward -> cfg.Mir_cfg.exit_
+    in
+    let work = Queue.create () in
+    let on_work = Array.make n false in
+    let push i =
+      if not on_work.(i) then begin
+        on_work.(i) <- true;
+        Queue.push i work
+      end
+    in
+    (* seed every node so unreachable code still gets bottom facts *)
+    for i = 0 to n - 1 do
+      push i
+    done;
+    while not (Queue.is_empty work) do
+      let i = Queue.pop work in
+      on_work.(i) <- false;
+      let joined =
+        List.fold_left
+          (fun acc p -> L.join acc out.(p))
+          (if i = boundary then entry else L.bottom)
+          (preds_of i)
+      in
+      let joined =
+        match widen with
+        | Some w when visits.(i) > widen_after -> w ~old:inp.(i) ~next:joined
+        | _ -> joined
+      in
+      visits.(i) <- visits.(i) + 1;
+      let next_out = transfer i joined in
+      let input_changed = not (L.equal inp.(i) joined) in
+      inp.(i) <- joined;
+      if input_changed || not (L.equal out.(i) next_out) then begin
+        out.(i) <- next_out;
+        List.iter push (succs_of i)
+      end
+    done;
+    { inp; out }
+end

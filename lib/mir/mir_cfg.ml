@@ -1,0 +1,140 @@
+(* Control-flow graph over structured MIR statements.
+
+   Linearises the statement tree into basic blocks of atoms. Each atom
+   keeps a stable id and its source statement (or branch condition),
+   so analyses can report findings against the original C spelling. *)
+
+type astmt =
+  | A_stmt of Mir.stmt  (** straight-line statement *)
+  | A_cond of Mir.expr  (** branch / loop condition evaluation *)
+
+type atom = { aid : int; a : astmt }
+
+type node = {
+  nid : int;
+  mutable atoms : atom list;  (** in execution order *)
+  mutable succs : int list;
+  mutable preds : int list;
+}
+
+type t = {
+  nodes : node array;
+  entry : int;
+  exit_ : int;
+  n_atoms : int;
+}
+
+let atom_stmts n =
+  List.filter_map (function { a = A_stmt s; _ } -> Some s | _ -> None) n.atoms
+
+let build (body : Mir.stmt list) : t =
+  let nodes = ref [] in
+  let n_nodes = ref 0 in
+  let next_aid = ref 0 in
+  let mk_node () =
+    let n = { nid = !n_nodes; atoms = []; succs = []; preds = [] } in
+    incr n_nodes;
+    nodes := n :: !nodes;
+    n
+  in
+  let edge a b =
+    a.succs <- b.nid :: a.succs;
+    b.preds <- a.nid :: b.preds
+  in
+  let push n a =
+    let aid = !next_aid in
+    incr next_aid;
+    n.atoms <- { aid; a } :: n.atoms
+  in
+  let entry = mk_node () in
+  let exit_ = mk_node () in
+  (* walk the statement list, returning the node control falls out of
+     ([None] when the flow never falls through, e.g. after return) *)
+  let rec walk cur stmts =
+    match stmts with
+    | [] -> cur
+    | s :: rest -> (
+        match cur with
+        | None ->
+            (* dead code after a return: collect it in a fresh node
+               with no predecessors so reachability analysis sees it *)
+            let dead = mk_node () in
+            walk (walk (Some dead) [ s ]) rest
+        | Some cur -> (
+            match s with
+            | Mir.Sdecl _ | Mir.Sassign _ | Mir.Sexpr _ | Mir.Sincr _
+            | Mir.Scomment _ | Mir.Sopaque _ ->
+                push cur (A_stmt s);
+                walk (Some cur) rest
+            | Mir.Sblock b -> walk (walk (Some cur) b) rest
+            | Mir.Sreturn _ ->
+                push cur (A_stmt s);
+                edge cur exit_;
+                walk None rest
+            | Mir.Sif (c, t, e) ->
+                push cur (A_cond c);
+                let join = mk_node () in
+                let tn = mk_node () in
+                edge cur tn;
+                (match walk (Some tn) t with
+                | Some last -> edge last join
+                | None -> ());
+                (if e = [] then edge cur join
+                 else begin
+                   let en = mk_node () in
+                   edge cur en;
+                   match walk (Some en) e with
+                   | Some last -> edge last join
+                   | None -> ()
+                 end);
+                walk (Some join) rest
+            | Mir.Swhile (c, b) ->
+                let head = mk_node () in
+                edge cur head;
+                push head (A_cond c);
+                let bn = mk_node () in
+                let after = mk_node () in
+                edge head bn;
+                edge head after;
+                (match walk (Some bn) b with
+                | Some last -> edge last head
+                | None -> ());
+                walk (Some after) rest
+            | Mir.Sfor (i, c, u, b) ->
+                push cur (A_stmt i);
+                let head = mk_node () in
+                edge cur head;
+                push head (A_cond c);
+                let bn = mk_node () in
+                let after = mk_node () in
+                edge head bn;
+                edge head after;
+                (match walk (Some bn) (b @ [ u ]) with
+                | Some last -> edge last head
+                | None -> ());
+                walk (Some after) rest))
+  in
+  (match walk (Some entry) body with
+  | Some last -> edge last exit_
+  | None -> ());
+  let arr = Array.of_list (List.rev !nodes) in
+  Array.iter
+    (fun n ->
+      n.atoms <- List.rev n.atoms;
+      n.succs <- List.rev n.succs;
+      n.preds <- List.rev n.preds)
+    arr;
+  Array.sort (fun a b -> compare a.nid b.nid) arr;
+  { nodes = arr; entry = entry.nid; exit_ = exit_.nid; n_atoms = !next_aid }
+
+(* nodes reachable from the entry *)
+let reachable (t : t) : bool array =
+  let seen = Array.make (Array.length t.nodes) false in
+  let rec go i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter go t.nodes.(i).succs
+    end
+  in
+  go t.entry;
+  seen

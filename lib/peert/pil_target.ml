@@ -125,7 +125,7 @@ void %s(void) {
     items = [ Include_local (name ^ ".h"); Include_local hal_header; Raw_item rt ];
   }
 
-let generate ~name ~project comp =
+let generate ?(opt = false) ~name ~project comp =
   let serial_bean =
     match
       List.find_opt
@@ -138,7 +138,7 @@ let generate ~name ~project comp =
           (Target.Codegen_error
              "PIL target needs an AsynchroSerial bean for the communication line")
   in
-  let a = Target.generate ~mode:Blockgen.Pil ~name ~project comp in
+  let a = Target.generate ~mode:Blockgen.Pil ~opt ~name ~project comp in
   let api =
     if
       List.exists

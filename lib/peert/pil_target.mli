@@ -10,8 +10,11 @@
     composer) bound to the project's AsynchroSerial bean. *)
 
 val generate :
+  ?opt:bool ->
   name:string -> project:Bean_project.t -> Compile.t -> Target.artifacts
-(** @raise Target.Codegen_error additionally when the bean project has no
+(** [opt] forwards to {!Target.generate} (MIR optimization passes on the
+    model unit, default off).
+    @raise Target.Codegen_error additionally when the bean project has no
     AsynchroSerial bean to carry the PIL link. *)
 
 val comm_runtime_unit :

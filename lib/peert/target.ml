@@ -131,7 +131,7 @@ let c_blocks_generated = Obs.counter "peert.blocks_generated"
 let c_lines_emitted = Obs.counter "peert.lines_emitted"
 let c_generations = Obs.counter "peert.generations"
 
-let generate ?(mode = Blockgen.Hw) ~name ~project comp =
+let generate ?(mode = Blockgen.Hw) ?(opt = false) ~name ~project comp =
   Obs.span "peert.generate" @@ fun () ->
   let m = comp.Compile.model in
   let mcu = Bean_project.mcu project in
@@ -430,6 +430,10 @@ let generate ?(mode = Blockgen.Hw) ~name ~project comp =
         @ group_defs;
     }
   in
+  (* route the unit through the MIR pipeline: lift -> (verify +
+     optimise when [opt]) -> lower. Without [opt] this is the exact
+     identity on the unit, so golden traces and findings are stable. *)
+  let model_c = Mir_unit.process ~opt ~header:model_h.items model_c in
   (* event wiring: bean events -> ISR bodies *)
   let event_handlers =
     List.concat_map

@@ -40,6 +40,12 @@ type schedule = {
   isr_stack_bytes : int;
 }
 
+val fix_helpers : C_ast.item list
+(** Static definitions of the saturating fixed-point helpers
+    ([pe_sat16], [pe_sat_add32], [pe_mul_shift]) emitted alongside
+    fixed-point controller code; exposed so tests can load them into
+    the SIL interpreter next to hand-built units. *)
+
 val is_sensor_kind : string -> bool
 (** Peripheral input kinds (ADC, quadrature decoder, digital in). *)
 
@@ -60,11 +66,18 @@ exception Codegen_error of string
 
 val generate :
   ?mode:Blockgen.mode ->
+  ?opt:bool ->
   name:string ->
   project:Bean_project.t ->
   Compile.t ->
   artifacts
-(** @raise Codegen_error when the model contains blocks with no embedded
+(** The generated [<model>.c] is produced through the MIR pipeline
+    (lift to {!Mir} -> verify -> lower). With [opt] (default [false])
+    the IR-verified optimisation passes of {!Mir_opt} run in between;
+    the output is bit-exact under SIL execution but syntactically
+    smaller.
+
+    @raise Codegen_error when the model contains blocks with no embedded
     realisation (generate from the controller subsystem only, as §5
     prescribes) or the bean project does not verify. *)
 

@@ -29,8 +29,8 @@ let divisor comp b =
       Some (int_of_float (Float.round (period /. comp.Compile.base_dt)))
   | _ -> None
 
-let create ?(mode = Blockgen.Pil) ~name ~project comp =
-  let arts = Target.generate ~mode ~name ~project comp in
+let create ?(mode = Blockgen.Pil) ?(opt = false) ~name ~project comp =
+  let arts = Target.generate ~mode ~opt ~name ~project comp in
   let interp = Silvm_interp.create () in
   Silvm_interp.add_unit interp arts.Target.model_h;
   Silvm_interp.add_unit interp arts.Target.model_c;

@@ -10,10 +10,18 @@
 type t
 
 val create :
-  ?mode:Blockgen.mode -> name:string -> project:Bean_project.t -> Compile.t -> t
+  ?mode:Blockgen.mode ->
+  ?opt:bool ->
+  name:string ->
+  project:Bean_project.t ->
+  Compile.t ->
+  t
 (** Generate the application for [comp] (default PIL variant), load the
     whole translation set into a fresh interpreter and wire up the
-    free-running-counter bean externals.
+    free-running-counter bean externals. [opt] enables the MIR
+    optimization passes on the model unit (default off); the interpreted
+    behaviour must be bit-exact either way — that is what
+    {!Silvm_diff.run} checks.
     @raise Target.Codegen_error when generation fails. *)
 
 val initialize : t -> unit

@@ -105,11 +105,11 @@ let inject sim app schedule sensors =
 
 exception Stop of divergence
 
-let run ?(steps = 1000) ?(float_mode = Exact) ?plant ?stimulus ?injector ~name
-    ~project comp =
+let run ?(steps = 1000) ?(float_mode = Exact) ?(opt = false) ?plant ?stimulus
+    ?injector ~name ~project comp =
   Obs.span "silvm.diff" @@ fun () ->
   let sim = Sim.create comp in
-  let app = Silvm_app.create ~name ~project comp in
+  let app = Silvm_app.create ~opt ~name ~project comp in
   Silvm_app.initialize app;
   let sched = Silvm_app.schedule app in
   let n_act = List.length sched.Target.actuator_slots in

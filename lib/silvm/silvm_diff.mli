@@ -51,6 +51,7 @@ type injector = {
 val run :
   ?steps:int ->
   ?float_mode:float_mode ->
+  ?opt:bool ->
   ?plant:plant ->
   ?stimulus:(int -> int array) ->
   ?injector:injector ->
@@ -62,4 +63,6 @@ val run :
     {!Exact}). Sensor values come either from [plant] (closed loop) or
     from [stimulus] (raw 16-bit codes per sensor slot, indexed like
     [Target.schedule.sensor_slots]); with neither, source blocks drive
-    the model on both sides. *)
+    the model on both sides. [opt] runs the SIL side on the
+    MIR-optimized model unit — the differential run is then the
+    bit-exactness oracle for the optimization passes. *)

@@ -28,6 +28,7 @@ let () =
       ("obs", Test_obs.suite);
       ("sim-golden", Test_sim_golden.suite);
       ("analysis", Test_analysis.suite);
+      ("mir", Test_mir.suite);
       ("silvm", Test_silvm.suite);
       ("fault", Test_fault.suite);
       ("exec", Test_exec.suite);

@@ -328,6 +328,35 @@ let test_rule_selection () =
   Alcotest.(check bool) "overflow retained" true
     (List.exists (fun f -> f.Diag.rule = "FXP002") report.Check.findings)
 
+(* `ecsd check MODELS --jobs N` shards models over a domain pool; the
+   rendered reports must be byte-identical to the serial run whatever
+   the worker count. Exercised here at the library level: the same
+   Check.run per model, serial vs Exec_pool, compared as one string. *)
+let test_check_jobs_byte_identical () =
+  let check_one name =
+    match name with
+    | "plant" ->
+        Check.run (Servo_system.plant_model Servo_system.default_config)
+    | "isr-demo" ->
+        let m, p = Check.hazard_demo () in
+        Check.run ~project:p m
+    | _ ->
+        let b = Servo_system.build () in
+        Check.run ~project:b.Servo_system.project b.Servo_system.controller
+  in
+  let names = [| "servo"; "plant"; "isr-demo" |] in
+  let render reports =
+    String.concat "" (Array.to_list (Array.map Check.render reports))
+  in
+  let serial = render (Array.map check_one names) in
+  let pooled =
+    render
+      (Exec_pool.with_pool ~workers:3 (fun pool ->
+           Exec_pool.run_map pool ~chunk:1 (Array.length names) (fun i ->
+               check_one names.(i))))
+  in
+  Alcotest.(check string) "jobs 1 vs 3 byte-identical" serial pooled
+
 let suite =
   [
     Alcotest.test_case "diagnose collects" `Quick test_diagnose_collects;
@@ -340,4 +369,6 @@ let suite =
     Alcotest.test_case "MISRA generated units" `Quick test_misra_generated_clean;
     Alcotest.test_case "render + JSON" `Quick test_render_and_json;
     Alcotest.test_case "rule selection" `Quick test_rule_selection;
+    Alcotest.test_case "check --jobs is byte-identical" `Quick
+      test_check_jobs_byte_identical;
   ]

@@ -122,9 +122,9 @@ let test_interp_cast_helpers_match_value () =
 
 let empty_project () = Bean_project.create mcu
 
-let diff_model ?steps ?float_mode ?stimulus ~name m =
+let diff_model ?steps ?float_mode ?opt ?stimulus ~name m =
   let comp = Compile.compile ~default_dt:0.01 m in
-  Silvm_diff.run ?steps ?float_mode ?stimulus ~name
+  Silvm_diff.run ?steps ?float_mode ?opt ?stimulus ~name
     ~project:(empty_project ()) comp
 
 let check_no_divergence what (r : Silvm_diff.report) =
@@ -343,6 +343,44 @@ let prop_int_dag_mil_sil_bit_exact =
             seed size d.Silvm_diff.d_step d.Silvm_diff.d_block
             d.Silvm_diff.d_port d.Silvm_diff.d_mil d.Silvm_diff.d_sil)
 
+(* the MIR optimization passes must be invisible to the differential:
+   the SIL side runs the --opt generated code against the unchanged
+   MIL engine, so any folding/propagation/fusion bug that alters a
+   single bit of a single signal surfaces here *)
+let test_servo_diff_opt () =
+  let run variant what =
+    let config = { Servo_system.default_config with Servo_system.variant } in
+    let b = Servo_system.build ~config () in
+    let comp = Compile.compile b.Servo_system.controller in
+    let plant = Servo_system.pil_plant b in
+    let driver = Servo_system.pil_driver b in
+    let r =
+      Silvm_diff.run ~steps:500 ~opt:true
+        ~plant:(Silvm_diff.Plant (plant, driver))
+        ~name:"servo" ~project:b.Servo_system.project comp
+    in
+    check_no_divergence what r
+  in
+  run Servo_system.Float_pid "servo float --opt";
+  run Servo_system.Fixed_pid "servo fixed --opt"
+
+let prop_int_dag_opt_bit_exact =
+  QCheck2.Test.make
+    ~name:
+      "random quantised diagrams: optimized SIL stays bit-exact (500 steps)"
+    ~count:(max 20 (fuzz_count / 2))
+    QCheck2.Gen.(pair (int_range 200001 300000) (int_range 1 18))
+    (fun (seed, size) ->
+      let m = random_int_dag ~seed ~size in
+      let r = diff_model ~steps:500 ~opt:true ~name:"ofuzz" m in
+      match r.Silvm_diff.divergence with
+      | None -> true
+      | Some d ->
+          QCheck2.Test.fail_reportf
+            "--opt seed=%d size=%d diverged at step %d on %s[%d]: MIL=%s SIL=%s"
+            seed size d.Silvm_diff.d_step d.Silvm_diff.d_block
+            d.Silvm_diff.d_port d.Silvm_diff.d_mil d.Silvm_diff.d_sil)
+
 (* float variant with ULP tolerance, as a robustness margin for
    platforms whose libm differs from the one OCaml links *)
 let prop_dag_mil_sil_ulp =
@@ -373,7 +411,10 @@ let suite =
       test_isr_demo_diff;
     Alcotest.test_case "servo: golden SIL PWM duty trace" `Slow
       test_servo_sil_golden;
+    Alcotest.test_case "servo: MIL vs optimized SIL, zero divergence" `Quick
+      test_servo_diff_opt;
     qtest prop_dag_mil_sil_bit_exact;
     qtest prop_int_dag_mil_sil_bit_exact;
+    qtest prop_int_dag_opt_bit_exact;
     qtest prop_dag_mil_sil_ulp;
   ]
