@@ -93,12 +93,29 @@ let bench_sil =
   let built = Servo_system.build () in
   let comp = Compile.compile built.Servo_system.controller in
   let app =
-    Silvm_app.create ~name:"servo" ~project:built.Servo_system.project comp
+    Silvm_app.create ~engine:`Interp ~name:"servo"
+      ~project:built.Servo_system.project comp
   in
   Silvm_app.initialize app;
   Silvm_app.set_sensor app 0 2048;
   Silvm_app.set_sensor app 1 0;
   Test.make ~name:"P9 SIL interpreter step (servo generated app)"
+    (Staged.stage (fun () ->
+         Silvm_app.step app;
+         ignore (Silvm_app.actuator app 0)))
+
+(* P13: the same step through the closure-compiled engine *)
+let bench_sil_compiled =
+  let built = Servo_system.build () in
+  let comp = Compile.compile built.Servo_system.controller in
+  let app =
+    Silvm_app.create ~engine:`Compiled ~name:"servo"
+      ~project:built.Servo_system.project comp
+  in
+  Silvm_app.initialize app;
+  Silvm_app.set_sensor app 0 2048;
+  Silvm_app.set_sensor app 1 0;
+  Test.make ~name:"P13 SIL compiled step (servo generated app)"
     (Staged.stage (fun () ->
          Silvm_app.step app;
          ignore (Silvm_app.actuator app 0)))
@@ -176,7 +193,7 @@ let bench_json () =
   let diff_steps = if quick () then 200 else 1000 in
   let comp_diff = Compile.compile built_pil.Servo_system.controller in
   let diff_report =
-    Silvm_diff.run ~steps:diff_steps
+    Silvm_diff.run ~steps:diff_steps ~engine:Silvm_diff.Interp
       ~plant:
         (Silvm_diff.Plant
            (Servo_system.pil_plant built_pil, Servo_system.pil_driver built_pil))
@@ -256,7 +273,7 @@ let bench_json () =
   in
   let loc_noopt = gen_loc false and loc_opt = gen_loc true in
   let diff_opt =
-    Silvm_diff.run ~steps:diff_steps ~opt:true
+    Silvm_diff.run ~steps:diff_steps ~opt:true ~engine:Silvm_diff.Interp
       ~plant:
         (Silvm_diff.Plant
            (Servo_system.pil_plant built_pil, Servo_system.pil_driver built_pil))
@@ -274,6 +291,43 @@ let bench_json () =
       /. diff_opt.Silvm_diff.sil_seconds
     else 0.0
   in
+  (* P13: compiled SIL execution — the closure-compiled servo app
+     through the batched Bigarray path, wall-clocked against the
+     interpreter on the same stimulus, with a tri-lockstep diff as the
+     bit-exactness witness for the numbers being compared *)
+  let compiled_steps = if quick () then 20_000 else 400_000 in
+  let interp_steps = if quick () then 5_000 else 40_000 in
+  let stim_buf = [| 0 |] in
+  let stimulus k =
+    stim_buf.(0) <- 2048 + (k * 37 land 1023);
+    stim_buf
+  in
+  let batched_rate engine n =
+    let app =
+      Silvm_app.create ~engine ~name:"servo"
+        ~project:built_pil.Servo_system.project comp_pil
+    in
+    Silvm_app.initialize app;
+    let t0 = Unix.gettimeofday () in
+    ignore (Silvm_app.run_n_steps ~stimulus app n);
+    let w = Unix.gettimeofday () -. t0 in
+    if w > 0.0 then float_of_int n /. w else 0.0
+  in
+  let compiled_rate = batched_rate `Compiled compiled_steps in
+  let interp_batched_rate = batched_rate `Interp interp_steps in
+  let diff_tri =
+    Silvm_diff.run ~steps:diff_steps ~engine:Silvm_diff.Both
+      ~plant:
+        (Silvm_diff.Plant
+           (Servo_system.pil_plant built_pil, Servo_system.pil_driver built_pil))
+      ~name:"servo" ~project:built_pil.Servo_system.project comp_diff
+  in
+  (match diff_tri.Silvm_diff.divergence with
+  | None -> ()
+  | Some d ->
+      failwith
+        (Printf.sprintf "P13: compiled/interp divergence at step %d on %s"
+           d.Silvm_diff.d_step d.Silvm_diff.d_block));
   Obs.set_enabled false;
   let snap = Obs.snapshot () in
   let extra =
@@ -320,6 +374,20 @@ let bench_json () =
             ("sil_steps_per_s_opt", Bench_json.Float opt_rate);
             ("opt_divergences", Bench_json.Int 0);
           ] );
+      ( "sil_compiled",
+        Bench_json.Obj
+          [
+            ("steps", Bench_json.Int compiled_steps);
+            ("sil_compiled_steps_per_s", Bench_json.Float compiled_rate);
+            ("sil_interp_steps_per_s", Bench_json.Float interp_batched_rate);
+            ( "speedup_vs_interp",
+              Bench_json.Float
+                (if interp_batched_rate > 0.0 then
+                   compiled_rate /. interp_batched_rate
+                 else 0.0) );
+            ("tri_lockstep_steps", Bench_json.Int diff_tri.Silvm_diff.steps_run);
+            ("divergences", Bench_json.Int 0);
+          ] );
     ]
   in
   let doc = Bench_json.bench ~name:"perf" ~steps ~wall_s ~extra snap in
@@ -354,6 +422,12 @@ let bench_json () =
     "P12 MIR opt ablation (servo): %d -> %d generated LoC, %.0f -> %.0f SIL \
      steps/s, 0 divergences\n"
     loc_noopt loc_opt sil_rate opt_rate;
+  Printf.printf
+    "P13 compiled SIL (servo, batched): %.0f steps/s compiled vs %.0f \
+     interpreted (%.1fx), tri-lockstep 0 divergences\n"
+    compiled_rate interp_batched_rate
+    (if interp_batched_rate > 0.0 then compiled_rate /. interp_batched_rate
+     else 0.0);
   Printf.printf "wrote %s (git %s)\n\n" path (Bench_json.git_rev ())
 
 let run () =
@@ -363,7 +437,8 @@ let run () =
   let tests =
     Test.make_grouped ~name:"perf" ~fmt:"%s %s"
       [ bench_mil; bench_machine; bench_codegen; bench_comm; bench_pid_float;
-        bench_pid_fixed; bench_pil; bench_check; bench_sil ]
+        bench_pid_fixed; bench_pil; bench_check; bench_sil;
+        bench_sil_compiled ]
   in
   let cfg =
     Benchmark.cfg ~limit:1500

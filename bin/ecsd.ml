@@ -299,6 +299,17 @@ let injector_of scenario seed =
     inj_active = (fun ~time -> Fault_inject.active_names inj ~time);
   }
 
+let engine_name = function
+  | Silvm_diff.Interp -> "interp"
+  | Silvm_diff.Compiled -> "compiled"
+  | Silvm_diff.Both -> "both"
+
+let engine_of_name = function
+  | "interp" -> Some Silvm_diff.Interp
+  | "compiled" -> Some Silvm_diff.Compiled
+  | "both" -> Some Silvm_diff.Both
+  | _ -> None
+
 let divergence_json (d : Silvm_diff.divergence option) =
   let open Bench_json in
   match d with
@@ -321,8 +332,8 @@ let divergence_json (d : Silvm_diff.divergence option) =
    compile dedups through the content-hashed cache); reports merge in
    seed order, so the sweep output — table and JSON, which carries no
    timing field — is identical whatever --jobs is. *)
-let diff_sweep ~cfg ~mcu ~float_mode ~opt ~steps ~ulp ~scenario ~seeds ~jobs
-    ~json model_name =
+let diff_sweep ~cfg ~mcu ~float_mode ~opt ~engine ~steps ~ulp ~scenario ~seeds
+    ~jobs ~json model_name =
   let mk_ctx () =
     match model_name with
     | "servo" ->
@@ -342,12 +353,12 @@ let diff_sweep ~cfg ~mcu ~float_mode ~opt ~steps ~ulp ~scenario ~seeds ~jobs
       | `Servo (built, comp) ->
           let plant = Servo_system.pil_plant built in
           let driver = Servo_system.pil_driver built in
-          Silvm_diff.run ~steps ~float_mode ~opt
+          Silvm_diff.run ~steps ~float_mode ~opt ~engine
             ~plant:(Silvm_diff.Plant (plant, driver))
             ?injector ~name:"servo" ~project:built.Servo_system.project comp
       | `Isr (project, comp) ->
           let stimulus k = [| k * 37 mod 4096 |] in
-          Silvm_diff.run ~steps ~float_mode ~opt ~stimulus ?injector
+          Silvm_diff.run ~steps ~float_mode ~opt ~engine ~stimulus ?injector
             ~name:"isr_demo" ~project comp
     with Target.Codegen_error msg -> die "code generation failed: %s" msg
   in
@@ -397,6 +408,7 @@ let diff_sweep ~cfg ~mcu ~float_mode ~opt ~steps ~ulp ~scenario ~seeds ~jobs
           [
             ("name", Str name);
             ("git_rev", Str (git_rev ()));
+            ("engine", Str (engine_name engine));
             ("steps_requested", Int steps);
             ("signals", Int reports.(0).Silvm_diff.signals);
             ("float_ulp", Int ulp);
@@ -418,8 +430,8 @@ let diff_sweep ~cfg ~mcu ~float_mode ~opt ~steps ~ulp ~scenario ~seeds ~jobs
      Printf.printf "JSON report written to %s\n" path);
   if diverged = 0 then 0 else 1
 
-let diff mcu period fixed model_name steps ulp opt scenario_ref fault_seed
-    seeds jobs json trace metrics =
+let diff mcu period fixed model_name steps ulp opt engine scenario_ref
+    fault_seed seeds jobs json trace metrics =
   with_obs trace metrics @@ fun () ->
   let scenario = Option.map scenario_or_die scenario_ref in
   let injector = Option.map (fun s -> injector_of s fault_seed) scenario in
@@ -433,8 +445,8 @@ let diff mcu period fixed model_name steps ulp opt scenario_ref fault_seed
     match scenario with
     | None -> die "--seeds %d: a seed sweep varies the fault stream; give --scenario" seeds
     | Some scn ->
-        diff_sweep ~cfg ~mcu ~float_mode ~opt ~steps ~ulp ~scenario:scn ~seeds
-          ~jobs ~json model_name
+        diff_sweep ~cfg ~mcu ~float_mode ~opt ~engine ~steps ~ulp ~scenario:scn
+          ~seeds ~jobs ~json model_name
   else
   let name, report =
     try
@@ -445,7 +457,7 @@ let diff mcu period fixed model_name steps ulp opt scenario_ref fault_seed
           let plant = Servo_system.pil_plant built in
           let driver = Servo_system.pil_driver built in
           ( "servo",
-            Silvm_diff.run ~steps ~float_mode ~opt
+            Silvm_diff.run ~steps ~float_mode ~opt ~engine
               ~plant:(Silvm_diff.Plant (plant, driver))
               ?injector ~name:"servo" ~project:built.Servo_system.project comp )
       | "isr-demo" ->
@@ -454,7 +466,7 @@ let diff mcu period fixed model_name steps ulp opt scenario_ref fault_seed
           (* deterministic sweep across the 12-bit ADC range *)
           let stimulus k = [| k * 37 mod 4096 |] in
           ( "isr_demo",
-            Silvm_diff.run ~steps ~float_mode ~opt ~stimulus ?injector
+            Silvm_diff.run ~steps ~float_mode ~opt ~engine ~stimulus ?injector
               ~name:"isr_demo" ~project comp )
       | other -> die "unknown model %S (choose servo or isr-demo)" other
     with Target.Codegen_error msg -> die "code generation failed: %s" msg
@@ -463,6 +475,7 @@ let diff mcu period fixed model_name steps ulp opt scenario_ref fault_seed
     if t > 0.0 then float_of_int report.Silvm_diff.steps_run /. t else 0.0
   in
   Printf.printf "model              : %s\n" name;
+  Printf.printf "engine             : %s\n" (engine_name engine);
   (match scenario with
   | Some s ->
       Printf.printf "fault scenario     : %s (seed %d)\n" s.Fault_scenario.sname
@@ -496,6 +509,7 @@ let diff mcu period fixed model_name steps ulp opt scenario_ref fault_seed
           [
             ("name", Str name);
             ("git_rev", Str (git_rev ()));
+            ("engine", Str (engine_name engine));
             ("steps_requested", Int report.Silvm_diff.steps_requested);
             ("steps_run", Int report.Silvm_diff.steps_run);
             ("signals", Int report.Silvm_diff.signals);
@@ -540,6 +554,24 @@ let diff_cmd =
       value & flag
       & info [ "json" ] ~doc:"Also write the report as DIFF_<model>.json.")
   in
+  let engine =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("compiled", Silvm_diff.Compiled);
+               ("interp", Silvm_diff.Interp);
+               ("both", Silvm_diff.Both);
+             ])
+          Silvm_diff.Compiled
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "SIL execution engine: $(b,compiled) (closure-compiled, the \
+             default), $(b,interp) (C AST interpreter), or $(b,both) \
+             (tri-lockstep: the compiled engine additionally shadows the \
+             interpreter and must match it bit-for-bit).")
+  in
   let scenario =
     Arg.(
       value
@@ -574,8 +606,8 @@ let diff_cmd =
           first diverging block output")
     Term.(
       const diff $ mcu_arg $ period_arg $ fixed_arg $ model_arg $ steps $ ulp
-      $ opt_arg $ scenario $ fault_seed $ seeds $ jobs_arg $ json $ trace_arg
-      $ metrics_arg)
+      $ opt_arg $ engine $ scenario $ fault_seed $ seeds $ jobs_arg $ json
+      $ trace_arg $ metrics_arg)
 
 (* ---- faultsim ---- *)
 
@@ -719,7 +751,8 @@ let faultsim_cmd =
    function of the input whatever the pool schedule does. *)
 
 let serve_usage =
-  "faultsim SCENARIO [SEEDS [T_END]]  |  diff MODEL [STEPS [SCENARIO [SEED]]]"
+  "faultsim SCENARIO [SEEDS [T_END]]  |  diff MODEL [STEPS [SCENARIO [SEED \
+   [ENGINE]]]]  (SCENARIO '-' = none; ENGINE compiled|interp|both)"
 
 let serve mcu period fixed jobs =
   let cfg = config mcu period fixed in
@@ -775,7 +808,7 @@ let serve mcu period fixed jobs =
       ("exit", Int (if recovered then 0 else 1));
     ]
   in
-  let run_diff model steps scn_ref seed =
+  let run_diff model steps scn_ref seed engine =
     let scenario = Option.map scenario_or_fail scn_ref in
     let injector = Option.map (fun s -> injector_of s seed) scenario in
     let dcfg =
@@ -790,7 +823,7 @@ let serve mcu period fixed jobs =
           let plant = Servo_system.pil_plant built in
           let driver = Servo_system.pil_driver built in
           ( "servo",
-            Silvm_diff.run ~steps ~float_mode:Silvm_diff.Exact
+            Silvm_diff.run ~steps ~float_mode:Silvm_diff.Exact ~engine
               ~plant:(Silvm_diff.Plant (plant, driver))
               ?injector ~name:"servo" ~project:built.Servo_system.project comp
           )
@@ -799,7 +832,7 @@ let serve mcu period fixed jobs =
           let comp = Compile_cache.compile m in
           let stimulus k = [| k * 37 mod 4096 |] in
           ( "isr_demo",
-            Silvm_diff.run ~steps ~float_mode:Silvm_diff.Exact ~stimulus
+            Silvm_diff.run ~steps ~float_mode:Silvm_diff.Exact ~engine ~stimulus
               ?injector ~name:"isr_demo" ~project comp )
       | other -> failwith (Printf.sprintf "unknown model %S" other)
     in
@@ -807,6 +840,7 @@ let serve mcu period fixed jobs =
     [
       ("job", Str "diff");
       ("model", Str name);
+      ("engine", Str (engine_name engine));
       ("steps_run", Int report.Silvm_diff.steps_run);
       ( "scenario",
         match scenario with
@@ -827,15 +861,28 @@ let serve mcu period fixed jobs =
     | [ "faultsim"; scn; seeds; t_end ] ->
         fun () ->
           run_faultsim scn (int_of_string seeds) (float_of_string t_end)
-    | [ "diff"; model ] -> fun () -> run_diff model 1000 None 1
+    | [ "diff"; model ] -> fun () -> run_diff model 1000 None 1 Silvm_diff.Compiled
     | [ "diff"; model; steps ] ->
-        fun () -> run_diff model (int_of_string steps) None 1
+        fun () -> run_diff model (int_of_string steps) None 1 Silvm_diff.Compiled
     | [ "diff"; model; steps; scn ] ->
-        fun () -> run_diff model (int_of_string steps) (Some scn) 1
+        let scn = if scn = "-" then None else Some scn in
+        fun () -> run_diff model (int_of_string steps) scn 1 Silvm_diff.Compiled
     | [ "diff"; model; steps; scn; seed ] ->
+        let scn = if scn = "-" then None else Some scn in
         fun () ->
-          run_diff model (int_of_string steps) (Some scn)
-            (int_of_string seed)
+          run_diff model (int_of_string steps) scn (int_of_string seed)
+            Silvm_diff.Compiled
+    | [ "diff"; model; steps; scn; seed; eng ] -> (
+        let scn = if scn = "-" then None else Some scn in
+        match engine_of_name eng with
+        | Some engine ->
+            fun () ->
+              run_diff model (int_of_string steps) scn (int_of_string seed)
+                engine
+        | None ->
+            fun () ->
+              failwith
+                (Printf.sprintf "bad engine %S (compiled|interp|both)" eng))
     | _ ->
         fun () ->
           failwith (Printf.sprintf "bad job line (expected: %s)" serve_usage)

@@ -1,9 +1,11 @@
 (** The software-in-the-loop virtual machine, under one roof:
     {!Silvm.Value} (C scalar arithmetic), {!Silvm.Interp} (C AST
-    interpreter), {!Silvm.App} (generated-application driver) and
-    {!Silvm.Diff} (MIL<->SIL differential harness). *)
+    interpreter), {!Silvm.Compiled} (closure compiler), {!Silvm.App}
+    (generated-application driver) and {!Silvm.Diff} (MIL<->SIL
+    differential harness). *)
 
 module Value = Silvm_value
 module Interp = Silvm_interp
+module Compiled = Silvm_compile
 module App = Silvm_app
 module Diff = Silvm_diff

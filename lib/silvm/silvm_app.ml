@@ -1,14 +1,33 @@
-(* Load a PEERT-generated application into the interpreter and drive it.
+(* Load a PEERT-generated application and drive it.
 
    The PIL variant of the generated code is the natural SIL subject:
    its peripheral reads and writes are redirected to the
    [pil_sensor_buf]/[pil_actuator_buf] exchange buffers (§6), which
    become the stimulus/observation ports of the virtual machine -- the
    same role the RS-232 link plays in a real PIL run, without the
-   target hardware. *)
+   target hardware.
+
+   Two execution backends share this driver: the C-AST interpreter
+   ({!Silvm_interp}) and the closure compiler ({!Silvm_compile}).
+   The compiled engine is the default -- it is bit-exact against the
+   interpreter on the whole covered subset (test_silvm_compile.ml
+   holds it to every-output-every-step equality) and one to two
+   orders of magnitude faster, which is what campaigns and fuzz
+   loops feel. *)
+
+type engine = [ `Interp | `Compiled ]
+
+type backend =
+  | Interp of Silvm_interp.t
+  | Compiled of {
+      code : Silvm_compile.code;
+      st : Silvm_compile.st;
+      readers : (string, Silvm_compile.st -> Silvm_value.t) Hashtbl.t;
+          (** per-field read closures, compiled once on first use *)
+    }
 
 type t = {
-  interp : Silvm_interp.t;
+  backend : backend;
   name : string;
   comp : Compile.t;
   arts : Target.artifacts;
@@ -20,6 +39,9 @@ type t = {
   mutable time : float;
 }
 
+type trace =
+  (int, Bigarray.int16_unsigned_elt, Bigarray.c_layout) Bigarray.Array2.t
+
 let sanitized_field b p m =
   Printf.sprintf "%s_o%d" (Blockgen.sanitize (Model.block_name m b)) p
 
@@ -29,24 +51,46 @@ let divisor comp b =
       Some (int_of_float (Float.round (period /. comp.Compile.base_dt)))
   | _ -> None
 
-let create ?(mode = Blockgen.Pil) ?(opt = false) ~name ~project comp =
+let engine app = match app.backend with Interp _ -> `Interp | Compiled _ -> `Compiled
+
+let has_func app fn =
+  match app.backend with
+  | Interp interp -> Silvm_interp.has_func interp fn
+  | Compiled { code; _ } -> Silvm_compile.has_func code fn
+
+let register_external app fn f =
+  match app.backend with
+  | Interp interp -> Silvm_interp.register_external interp fn f
+  | Compiled { st; _ } -> Silvm_compile.register_external st fn f
+
+let call app fn args =
+  match app.backend with
+  | Interp interp -> ignore (Silvm_interp.call interp fn args)
+  | Compiled { code; st; _ } -> ignore (Silvm_compile.call code st fn args)
+
+let create ?(mode = Blockgen.Pil) ?(opt = false) ?(engine = `Compiled) ~name
+    ~project comp =
   let arts = Target.generate ~mode ~opt ~name ~project comp in
-  let interp = Silvm_interp.create () in
-  Silvm_interp.add_unit interp arts.Target.model_h;
-  Silvm_interp.add_unit interp arts.Target.model_c;
-  let m = comp.Compile.model in
-  (* free-running counter beans read the clock through an external *)
-  let app =
-    {
-      interp;
-      name;
-      comp;
-      arts;
-      events = [];
-      steps = 0;
-      time = 0.0;
-    }
+  let units = [ arts.Target.model_h; arts.Target.model_c ] in
+  let backend =
+    match engine with
+    | `Interp ->
+        let interp = Silvm_interp.create () in
+        List.iter (Silvm_interp.add_unit interp) units;
+        Interp interp
+    | `Compiled ->
+        (* the compiled code is immutable and content-hashed: repeated
+           submissions of the same generated units (campaign shards,
+           fuzz re-runs) share one compilation *)
+        let code = Silvm_compile.compile_cached units in
+        Compiled
+          { code; st = Silvm_compile.instantiate code; readers = Hashtbl.create 32 }
   in
+  let m = comp.Compile.model in
+  let app =
+    { backend; name; comp; arts; events = []; steps = 0; time = 0.0 }
+  in
+  (* free-running counter beans read the clock through an external *)
   List.iter
     (fun b ->
       let spec = Model.spec_of m b in
@@ -56,8 +100,7 @@ let create ?(mode = Blockgen.Pil) ?(opt = false) ~name ~project comp =
             List.assoc_opt "tick" spec.Block.params )
         with
         | Some (Param.String bean), Some (Param.Float tick) ->
-            Silvm_interp.register_external interp (bean ^ "_GetCounterValue")
-              (fun _ ->
+            register_external app (bean ^ "_GetCounterValue") (fun _ ->
                 let count =
                   int_of_float (Float.floor (app.time /. tick)) land 0xFFFF
                 in
@@ -80,7 +123,7 @@ let create ?(mode = Blockgen.Pil) ?(opt = false) ~name ~project comp =
                      Printf.sprintf "%s_%s" name
                        (Blockgen.sanitize (Model.group_name m g))
                    in
-                   if Silvm_interp.has_func interp fn then
+                   if has_func app fn then
                      Option.map (fun d -> (d, fn)) (divisor comp b)
                    else None
                | None -> None))
@@ -91,40 +134,127 @@ let create ?(mode = Blockgen.Pil) ?(opt = false) ~name ~project comp =
 let initialize app =
   app.steps <- 0;
   app.time <- 0.0;
-  ignore (Silvm_interp.call app.interp (app.name ^ "_initialize") [])
+  call app (app.name ^ "_initialize") []
 
 (* one base-rate step: the periodic part, then the ISR groups of every
    bean event that fired in this period *)
 let step app =
-  ignore (Silvm_interp.call app.interp (app.name ^ "_step") []);
+  call app (app.name ^ "_step") [];
   List.iter
-    (fun (d, fn) ->
-      if app.steps mod d = 0 then ignore (Silvm_interp.call app.interp fn []))
+    (fun (d, fn) -> if app.steps mod d = 0 then call app fn [])
     app.events;
   app.steps <- app.steps + 1;
   app.time <- app.time +. app.comp.Compile.base_dt
 
 let set_sensor app slot v =
-  Silvm_interp.write app.interp
-    (C_ast.Index (C_ast.Var "pil_sensor_buf", C_ast.Int_lit slot))
-    (Silvm_value.of_int { Silvm_value.bits = 16; signed = false } v)
+  match app.backend with
+  | Interp interp ->
+      Silvm_interp.write interp
+        (C_ast.Index (C_ast.Var "pil_sensor_buf", C_ast.Int_lit slot))
+        (Silvm_value.of_int { Silvm_value.bits = 16; signed = false } v)
+  | Compiled { st; _ } -> Silvm_compile.set_sensor st slot v
 
 let actuator app slot =
-  Silvm_value.to_int
-    (Silvm_interp.read app.interp
-       (C_ast.Index (C_ast.Var "pil_actuator_buf", C_ast.Int_lit slot)))
+  match app.backend with
+  | Interp interp ->
+      Silvm_value.to_int
+        (Silvm_interp.read interp
+           (C_ast.Index (C_ast.Var "pil_actuator_buf", C_ast.Int_lit slot)))
+  | Compiled { st; _ } -> Silvm_compile.actuator st slot
+
+let read_field app fname field =
+  let e = C_ast.Field (C_ast.Var fname, field) in
+  match app.backend with
+  | Interp interp -> Silvm_interp.read interp e
+  | Compiled { code; st; readers } -> (
+      (* signals are polled every step of a diff run: compile the read
+         once, then it is a closure call *)
+      match Hashtbl.find_opt readers field with
+      | Some r -> r st
+      | None ->
+          let r = Silvm_compile.reader code e in
+          Hashtbl.replace readers field r;
+          r st)
 
 let set_input app i x =
-  Silvm_interp.write app.interp
-    (C_ast.Field (C_ast.Var (app.name ^ "_U"), Printf.sprintf "in%d" i))
-    (Silvm_value.VF x)
+  let e =
+    C_ast.Field (C_ast.Var (app.name ^ "_U"), Printf.sprintf "in%d" i)
+  in
+  match app.backend with
+  | Interp interp -> Silvm_interp.write interp e (Silvm_value.VF x)
+  | Compiled { code; st; _ } -> Silvm_compile.write code st e (Silvm_value.VF x)
 
 (* the block-I/O structure field carrying a block output signal *)
 let signal app (b, p) =
-  Silvm_interp.read app.interp
-    (C_ast.Field
-       ( C_ast.Var (app.name ^ "_B"),
-         sanitized_field b p app.comp.Compile.model ))
+  read_field app (app.name ^ "_B")
+    (sanitized_field b p app.comp.Compile.model)
 
 let schedule app = app.arts.Target.schedule
-let stmts_executed app = Silvm_interp.stmts_executed app.interp
+
+let stmts_executed app =
+  match app.backend with
+  | Interp interp -> Silvm_interp.stmts_executed interp
+  | Compiled _ -> 0
+
+(* ---------------- batched execution ---------------- *)
+
+let n_actuators app =
+  match app.backend with
+  | Compiled { code; _ } -> Silvm_compile.actuator_count code
+  | Interp _ ->
+      List.length app.arts.Target.schedule.Target.actuator_slots
+
+let run_n_steps ?stimulus ?feedback app n =
+  let n_act = n_actuators app in
+  let trace =
+    Bigarray.Array2.create Bigarray.int16_unsigned Bigarray.c_layout n
+      (max 1 n_act)
+  in
+  Bigarray.Array2.fill trace 0;
+  let row = Array.make (max 1 n_act) 0 in
+  for k = 0 to n - 1 do
+    (match stimulus with
+    | None -> ()
+    | Some f ->
+        let sensors = f k in
+        Array.iteri (fun slot v -> set_sensor app slot v) sensors);
+    step app;
+    (match app.backend with
+    | Compiled { st; _ } when n_act > 0 ->
+        (* vectorized snapshot: blit the exchange buffer into row k *)
+        Bigarray.Array1.blit
+          (Silvm_compile.actuator_buf st)
+          (Bigarray.Array2.slice_left trace k)
+    | _ ->
+        for slot = 0 to n_act - 1 do
+          Bigarray.Array2.set trace k slot (actuator app slot)
+        done);
+    match feedback with
+    | None -> ()
+    | Some f ->
+        for slot = 0 to n_act - 1 do
+          row.(slot) <- Bigarray.Array2.get trace k slot
+        done;
+        f k row
+  done;
+  trace
+
+(* first (step, slot) where two runs disagree; whole-row comparison is
+   the vectorized common case (equal traces touch no per-port logic) *)
+let compare_traces (a : trace) (b : trace) =
+  let steps = min (Bigarray.Array2.dim1 a) (Bigarray.Array2.dim1 b) in
+  let slots = min (Bigarray.Array2.dim2 a) (Bigarray.Array2.dim2 b) in
+  let diff = ref None in
+  (try
+     for k = 0 to steps - 1 do
+       for s = 0 to slots - 1 do
+         if Bigarray.Array2.unsafe_get a k s <> Bigarray.Array2.unsafe_get b k s
+         then (
+           diff := Some (k, s);
+           raise Exit)
+       done
+     done
+   with Exit -> ());
+  if Bigarray.Array2.dim1 a <> Bigarray.Array2.dim1 b && !diff = None then
+    Some (steps, 0)
+  else !diff

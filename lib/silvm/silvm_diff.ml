@@ -12,6 +12,13 @@ type float_mode =
   | Exact  (** IEEE equality; +0/-0 identified, NaN equal to NaN *)
   | Ulp of int  (** tolerate a few representable values of drift *)
 
+type engine =
+  | Interp  (** C AST interpreter *)
+  | Compiled  (** closure-compiled execution (the default) *)
+  | Both
+      (** tri-lockstep: MIL vs compiled, plus a shadow interpreter the
+          compiled engine must match bit-for-bit *)
+
 type divergence = {
   d_step : int;
   d_time : float;
@@ -87,7 +94,7 @@ let compared_signals comp =
       List.init spec.Block.n_out (fun p -> (b, p)))
     blocks
 
-let inject sim app schedule sensors =
+let inject sim apps schedule sensors =
   let m = (Sim.compiled sim).Compile.model in
   List.iter
     (fun (b, slot) ->
@@ -100,17 +107,40 @@ let inject sim app schedule sensors =
         | k -> failwith ("Silvm_diff: unexpected sensor block kind " ^ k)
       in
       Sim.override_output sim (b, 0) (Some value);
-      Silvm_app.set_sensor app slot v)
+      List.iter (fun app -> Silvm_app.set_sensor app slot v) apps)
     schedule.Target.sensor_slots
+
+(* bit-for-bit equality between the two SIL engines: same type, same
+   canonical integer, same float bits ([compare] would identify -0.
+   with 0. and separate NaN from NaN — exactly the wrong laws here) *)
+let sil_bits_equal a b =
+  match (a, b) with
+  | Silvm_value.VI (ta, va), Silvm_value.VI (tb, vb) -> ta = tb && Int64.equal va vb
+  | Silvm_value.VF xa, Silvm_value.VF xb ->
+      Int64.equal (Int64.bits_of_float xa) (Int64.bits_of_float xb)
+  | _ -> false
 
 exception Stop of divergence
 
-let run ?(steps = 1000) ?(float_mode = Exact) ?(opt = false) ?plant ?stimulus
-    ?injector ~name ~project comp =
+let run ?(steps = 1000) ?(float_mode = Exact) ?(opt = false) ?(engine = Compiled)
+    ?plant ?stimulus ?injector ~name ~project comp =
   Obs.span "silvm.diff" @@ fun () ->
   let sim = Sim.create comp in
-  let app = Silvm_app.create ~opt ~name ~project comp in
+  let app =
+    let e = match engine with Interp -> `Interp | Compiled | Both -> `Compiled in
+    Silvm_app.create ~opt ~engine:e ~name ~project comp
+  in
+  (* [Both] runs a shadow interpreter in tri-lockstep; any compiled
+     value that is not bit-identical to the interpreter's is reported
+     as a divergence, even where MIL agrees with both *)
+  let shadow =
+    match engine with
+    | Both -> Some (Silvm_app.create ~opt ~engine:`Interp ~name ~project comp)
+    | Interp | Compiled -> None
+  in
   Silvm_app.initialize app;
+  Option.iter Silvm_app.initialize shadow;
+  let apps = app :: Option.to_list shadow in
   let sched = Silvm_app.schedule app in
   let n_act = List.length sched.Target.actuator_slots in
   let signals = compared_signals comp in
@@ -129,8 +159,8 @@ let run ?(steps = 1000) ?(float_mode = Exact) ?(opt = false) ?plant ?stimulus
         in
         (match plant, stimulus with
         | Some (Plant (p, d)), _ ->
-            inject sim app sched (perturb (d.Pil_cosim.read_sensors p ~time))
-        | None, Some f -> inject sim app sched (perturb (f k))
+            inject sim apps sched (perturb (d.Pil_cosim.read_sensors p ~time))
+        | None, Some f -> inject sim apps sched (perturb (f k))
         | None, None -> ());
         let t0 = Sys.time () in
         Sim.step sim;
@@ -138,6 +168,10 @@ let run ?(steps = 1000) ?(float_mode = Exact) ?(opt = false) ?plant ?stimulus
         let t1 = Sys.time () in
         Silvm_app.step app;
         sil_t := !sil_t +. (Sys.time () -. t1);
+        Option.iter Silvm_app.step shadow;
+        let faults () =
+          match injector with Some i -> i.inj_active ~time | None -> []
+        in
         List.iter
           (fun (b, p) ->
             let mil = Sim.value sim (b, p) in
@@ -152,11 +186,24 @@ let run ?(steps = 1000) ?(float_mode = Exact) ?(opt = false) ?plant ?stimulus
                      d_port = p;
                      d_mil = mil_to_string mil;
                      d_sil = Silvm_value.to_string sil;
-                     d_faults =
-                       (match injector with
-                       | Some i -> i.inj_active ~time
-                       | None -> []);
-                   }))
+                     d_faults = faults ();
+                   });
+            match shadow with
+            | None -> ()
+            | Some sh ->
+                let isil = Silvm_app.signal sh (b, p) in
+                if not (sil_bits_equal sil isil) then
+                  raise
+                    (Stop
+                       {
+                         d_step = k;
+                         d_time = time;
+                         d_block = Model.block_name m b;
+                         d_port = p;
+                         d_mil = "interp:" ^ Silvm_value.to_string isil;
+                         d_sil = Silvm_value.to_string sil;
+                         d_faults = faults ();
+                       }))
           signals;
         incr steps_done;
         match plant with

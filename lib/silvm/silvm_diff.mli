@@ -12,6 +12,14 @@ type float_mode =
   | Exact  (** IEEE equality; +0/-0 identified, NaN equal to NaN *)
   | Ulp of int  (** tolerate a few representable values of drift *)
 
+type engine =
+  | Interp  (** C AST interpreter *)
+  | Compiled  (** closure-compiled execution (the default) *)
+  | Both
+      (** tri-lockstep: MIL vs compiled, plus a shadow interpreter the
+          compiled engine must match bit-for-bit; an engine mismatch is
+          reported as a divergence with [d_mil] prefixed ["interp:"] *)
+
 type divergence = {
   d_step : int;
   d_time : float;
@@ -52,6 +60,7 @@ val run :
   ?steps:int ->
   ?float_mode:float_mode ->
   ?opt:bool ->
+  ?engine:engine ->
   ?plant:plant ->
   ?stimulus:(int -> int array) ->
   ?injector:injector ->
@@ -60,9 +69,9 @@ val run :
   Compile.t ->
   report
 (** Compare [steps] (default 1000) lock-steps at [float_mode] (default
-    {!Exact}). Sensor values come either from [plant] (closed loop) or
-    from [stimulus] (raw 16-bit codes per sensor slot, indexed like
-    [Target.schedule.sensor_slots]); with neither, source blocks drive
-    the model on both sides. [opt] runs the SIL side on the
-    MIR-optimized model unit — the differential run is then the
-    bit-exactness oracle for the optimization passes. *)
+    {!Exact}) on [engine] (default {!Compiled}). Sensor values come
+    either from [plant] (closed loop) or from [stimulus] (raw 16-bit
+    codes per sensor slot, indexed like [Target.schedule.sensor_slots]);
+    with neither, source blocks drive the model on both sides. [opt]
+    runs the SIL side on the MIR-optimized model unit — the differential
+    run is then the bit-exactness oracle for the optimization passes. *)

@@ -30,6 +30,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("mir", Test_mir.suite);
       ("silvm", Test_silvm.suite);
+      ("silvm-compile", Test_silvm_compile.suite);
       ("fault", Test_fault.suite);
       ("exec", Test_exec.suite);
     ]

@@ -122,10 +122,14 @@ let test_interp_cast_helpers_match_value () =
 
 let empty_project () = Bean_project.create mcu
 
+(* this file is the INTERPRETER's suite: every differential run is
+   pinned to [~engine:Interp] so the C-AST interpreter stays covered now
+   that the compiled engine is the default; the compiled engine has its
+   own battery in test_silvm_compile.ml *)
 let diff_model ?steps ?float_mode ?opt ?stimulus ~name m =
   let comp = Compile.compile ~default_dt:0.01 m in
-  Silvm_diff.run ?steps ?float_mode ?opt ?stimulus ~name
-    ~project:(empty_project ()) comp
+  Silvm_diff.run ?steps ?float_mode ?opt ~engine:Silvm_diff.Interp ?stimulus
+    ~name ~project:(empty_project ()) comp
 
 let check_no_divergence what (r : Silvm_diff.report) =
   (match r.Silvm_diff.divergence with
@@ -154,7 +158,8 @@ let test_cast_quantization_regression () =
   Model.connect m ~src:(c3, 0) ~dst:(k3, 0);
   let comp = Compile.compile ~default_dt:0.01 m in
   let app =
-    Silvm_app.create ~name:"castreg" ~project:(empty_project ()) comp
+    Silvm_app.create ~engine:`Interp ~name:"castreg"
+      ~project:(empty_project ()) comp
   in
   Silvm_app.initialize app;
   Silvm_app.step app;
@@ -178,7 +183,8 @@ let servo_diff steps =
   let comp = Compile.compile b.Servo_system.controller in
   let plant = Servo_system.pil_plant b in
   let driver = Servo_system.pil_driver b in
-  Silvm_diff.run ~steps ~plant:(Silvm_diff.Plant (plant, driver))
+  Silvm_diff.run ~steps ~engine:Silvm_diff.Interp
+    ~plant:(Silvm_diff.Plant (plant, driver))
     ~name:"servo" ~project:b.Servo_system.project comp
 
 let test_servo_diff_1000 () =
@@ -196,7 +202,8 @@ let test_isr_demo_diff () =
     [| code |]
   in
   let r =
-    Silvm_diff.run ~steps:500 ~stimulus ~name:"isr_demo" ~project comp
+    Silvm_diff.run ~steps:500 ~engine:Silvm_diff.Interp ~stimulus
+      ~name:"isr_demo" ~project comp
   in
   check_no_divergence "isr-demo MIL vs SIL" r
 
@@ -226,7 +233,8 @@ let test_servo_sil_golden () =
   let plant = Servo_system.pil_plant b in
   let driver = Servo_system.pil_driver b in
   let app =
-    Silvm_app.create ~name:"servo" ~project:b.Servo_system.project comp
+    Silvm_app.create ~engine:`Interp ~name:"servo"
+      ~project:b.Servo_system.project comp
   in
   Silvm_app.initialize app;
   let sched = Silvm_app.schedule app in
@@ -273,13 +281,18 @@ let fuzz_count =
   | Some s -> (try int_of_string s with _ -> 200)
   | None -> 200
 
+(* the interpreter walks the AST per step, so its smoke stays at the
+   historical count; the 10× budget goes to the compiled engine's
+   sharded battery (test_silvm_compile.ml), where it is affordable *)
+let interp_fuzz_count = min fuzz_count 200
+
 (* the random-diagram generator of test_model_fuzz, checked bit-for-bit:
    every float operation of the block library is emitted with the same
    association and constants the engine computes with *)
 let prop_dag_mil_sil_bit_exact =
   QCheck2.Test.make
     ~name:"random acyclic diagrams: MIL and SIL agree bit-for-bit (500 steps)"
-    ~count:fuzz_count
+    ~count:interp_fuzz_count
     QCheck2.Gen.(pair (int_range 1 100000) (int_range 1 18))
     (fun (seed, size) ->
       let m = Test_model_fuzz.random_dag ~seed ~size in
@@ -330,7 +343,7 @@ let random_int_dag ~seed ~size =
 let prop_int_dag_mil_sil_bit_exact =
   QCheck2.Test.make
     ~name:"random quantised diagrams: MIL and SIL agree bit-for-bit (500 steps)"
-    ~count:fuzz_count
+    ~count:interp_fuzz_count
     QCheck2.Gen.(pair (int_range 1 100000) (int_range 1 18))
     (fun (seed, size) ->
       let m = random_int_dag ~seed ~size in
@@ -368,7 +381,7 @@ let prop_int_dag_opt_bit_exact =
   QCheck2.Test.make
     ~name:
       "random quantised diagrams: optimized SIL stays bit-exact (500 steps)"
-    ~count:(max 20 (fuzz_count / 2))
+    ~count:(max 20 (interp_fuzz_count / 2))
     QCheck2.Gen.(pair (int_range 200001 300000) (int_range 1 18))
     (fun (seed, size) ->
       let m = random_int_dag ~seed ~size in
@@ -386,7 +399,7 @@ let prop_int_dag_opt_bit_exact =
 let prop_dag_mil_sil_ulp =
   QCheck2.Test.make
     ~name:"random float diagrams: MIL and SIL within 4 ULP (500 steps)"
-    ~count:(max 20 (fuzz_count / 3))
+    ~count:(max 20 (interp_fuzz_count / 3))
     QCheck2.Gen.(pair (int_range 100001 200000) (int_range 1 18))
     (fun (seed, size) ->
       let m = Test_model_fuzz.random_dag ~seed ~size in
