@@ -328,6 +328,86 @@ let bench_json () =
       failwith
         (Printf.sprintf "P13: compiled/interp divergence at step %d on %s"
            d.Silvm_diff.d_step d.Silvm_diff.d_block));
+  (* P14: flight-recorder overhead — the always-on claim, quantified.
+     The same three hot paths timed with the recorder off and on:
+     probed MIL stepping (every event is a ring store), the compiled
+     batched SIL path, and the armed fault campaign. Best-of-3 rates on
+     both sides squeeze scheduler noise out of the ratio. *)
+  (* alternate off/on repetitions so machine drift during the
+     measurement hits both sides, and keep the best rate of each; the
+     first pair is an untimed warmup so caches and code paths are hot
+     on both sides before anything counts *)
+  let paired_best n f_off f_on =
+    let bo = ref 0.0 and bn = ref 0.0 in
+    for i = 0 to n do
+      let o = f_off () in
+      let x = f_on () in
+      if i > 0 then begin
+        if o > !bo then bo := o;
+        if x > !bn then bn := x
+      end;
+      if Sys.getenv_opt "ECSD_BENCH_DEBUG" <> None then
+        Printf.printf "  rep off %.0f on %.0f%s\n%!" o x
+          (if i = 0 then " (warmup)" else "")
+    done;
+    (!bo, !bn)
+  in
+  let flight_on f =
+    Flight.reset ();
+    Flight.set_enabled true;
+    Flight.begin_track ~id:1 ~name:"bench";
+    (* pre-touch every ring page so first-write faults on the freshly
+       allocated arrays land here, not inside the timed region *)
+    for k = 0 to Flight.capacity () - 1 do
+      Flight.mark ~step:k "warm"
+    done;
+    Fun.protect
+      ~finally:(fun () ->
+        Flight.set_enabled false;
+        Flight.reset ())
+      f
+  in
+  (* short repetitions keep each off/on pair tightly adjacent in time,
+     which is what makes the ratio robust on a loaded machine *)
+  let fr_mil_steps = if quick () then 5_000 else 20_000 in
+  let probed_rate () =
+    let sim2 = Sim.create ~solver_substeps:3 comp in
+    List.iter
+      (fun b ->
+        let spec = Model.spec_of comp.Compile.model b in
+        for p = 0 to spec.Block.n_out - 1 do
+          Sim.probe sim2 (b, p)
+        done)
+      (Model.blocks comp.Compile.model);
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to fr_mil_steps do
+      Sim.step sim2
+    done;
+    let w = Unix.gettimeofday () -. t0 in
+    if w > 0.0 then float_of_int fr_mil_steps /. w else 0.0
+  in
+  (* the probed MIL path records the most events per step (a marker plus
+     every probed output), so it gets the most repetitions *)
+  let mil_off, mil_on =
+    paired_best
+      (if quick () then 5 else 10)
+      probed_rate
+      (fun () -> flight_on probed_rate)
+  in
+  let fr_sil_steps = if quick () then 20_000 else 200_000 in
+  let sil_off, sil_on =
+    paired_best 3
+      (fun () -> batched_rate `Compiled fr_sil_steps)
+      (fun () -> flight_on (fun () -> batched_rate `Compiled fr_sil_steps))
+  in
+  let armed_rate () =
+    Fault_campaign.throughput ~scenario:fault_scn ~steps:fault_steps
+      fault_subject
+  in
+  let armed_off, armed_on =
+    paired_best 3 armed_rate (fun () -> flight_on armed_rate)
+  in
+  let overhead off on = if off > 0.0 then 1.0 -. (on /. off) else 0.0 in
   Obs.set_enabled false;
   let snap = Obs.snapshot () in
   let extra =
@@ -388,6 +468,24 @@ let bench_json () =
             ("tri_lockstep_steps", Bench_json.Int diff_tri.Silvm_diff.steps_run);
             ("divergences", Bench_json.Int 0);
           ] );
+      ( "recorder",
+        Bench_json.Obj
+          [
+            ("mil_probed_steps", Bench_json.Int fr_mil_steps);
+            ("mil_probed_steps_per_s_off", Bench_json.Float mil_off);
+            ("mil_probed_steps_per_s_on", Bench_json.Float mil_on);
+            ("mil_overhead_frac", Bench_json.Float (overhead mil_off mil_on));
+            ("sil_compiled_steps", Bench_json.Int fr_sil_steps);
+            ("sil_compiled_steps_per_s_off", Bench_json.Float sil_off);
+            ("sil_compiled_steps_per_s_on", Bench_json.Float sil_on);
+            ( "sil_compiled_overhead_frac",
+              Bench_json.Float (overhead sil_off sil_on) );
+            ("armed_campaign_steps", Bench_json.Int fault_steps);
+            ("armed_campaign_steps_per_s_off", Bench_json.Float armed_off);
+            ("armed_campaign_steps_per_s_on", Bench_json.Float armed_on);
+            ( "armed_campaign_overhead_frac",
+              Bench_json.Float (overhead armed_off armed_on) );
+          ] );
     ]
   in
   let doc = Bench_json.bench ~name:"perf" ~steps ~wall_s ~extra snap in
@@ -428,6 +526,12 @@ let bench_json () =
     compiled_rate interp_batched_rate
     (if interp_batched_rate > 0.0 then compiled_rate /. interp_batched_rate
      else 0.0);
+  Printf.printf
+    "P14 flight recorder overhead: MIL probed %.1f %%, compiled SIL %.1f %%, \
+     armed campaign %.1f %%\n"
+    (100.0 *. overhead mil_off mil_on)
+    (100.0 *. overhead sil_off sil_on)
+    (100.0 *. overhead armed_off armed_on);
   Printf.printf "wrote %s (git %s)\n\n" path (Bench_json.git_rev ())
 
 let run () =

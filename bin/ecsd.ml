@@ -62,6 +62,21 @@ let die fmt =
       exit 2)
     fmt
 
+(* Flush-on-error: `die` exits without unwinding through the command
+   body, so anything that must reach disk even on a failed run (trace
+   spans, flight bundles, partial reports) registers a sink here and
+   at_exit drains them exactly once, whatever the exit path. *)
+let on_exit_flush : (unit -> unit) list ref = ref []
+let exit_flushed = ref false
+let register_exit_flush f = on_exit_flush := f :: !on_exit_flush
+
+let () =
+  at_exit (fun () ->
+      if not !exit_flushed then begin
+        exit_flushed := true;
+        List.iter (fun f -> try f () with _ -> ()) (List.rev !on_exit_flush)
+      end)
+
 let build_or_fail cfg =
   try Servo_system.build ~config:cfg ()
   with Invalid_argument msg -> die "%s" msg
@@ -85,28 +100,88 @@ let metrics_arg =
           "Collect metrics during the run and print the counters, latency \
            histograms and an ASCII span summary afterwards.")
 
-let with_obs trace metrics f =
-  let active = trace <> None || metrics in
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Collect the tool's self-profiling timers (per-pass analysis \
+           and codegen timing, compiled-SIL phase timing) and print them \
+           as a calls/total/mean/max table afterwards.")
+
+let with_obs ?(profile = false) trace metrics f =
+  let active = trace <> None || metrics || profile in
+  let finished = ref false in
+  let finish () =
+    if not !finished then begin
+      finished := true;
+      Obs.set_enabled false;
+      (match trace with
+      | Some path ->
+          Obs.write_chrome_trace ~path;
+          Printf.printf "trace spans written to %s\n" path
+      | None -> ());
+      if metrics then begin
+        print_newline ();
+        print_string (Obs_report.metrics_table (Obs.snapshot ()));
+        print_newline ();
+        print_string (Obs_report.flame_summary (Obs.spans ()))
+      end;
+      if profile then begin
+        print_newline ();
+        print_string (Obs_report.profile_table (Obs.snapshot ()))
+      end
+    end
+  in
   if active then begin
     Obs.reset ();
-    Obs.set_enabled true
+    Obs.set_enabled true;
+    (* a `die` mid-run still flushes the trace and tables *)
+    register_exit_flush finish
   end;
   let code = f () in
-  if active then begin
-    Obs.set_enabled false;
-    (match trace with
-    | Some path ->
-        Obs.write_chrome_trace ~path;
-        Printf.printf "trace spans written to %s\n" path
-    | None -> ());
-    if metrics then begin
-      print_newline ();
-      print_string (Obs_report.metrics_table (Obs.snapshot ()));
-      print_newline ();
-      print_string (Obs_report.flame_summary (Obs.spans ()))
-    end
-  end;
+  if active then finish ();
   code
+
+(* ---- flight recorder, on by default in the campaign commands ---- *)
+
+let no_flight_arg =
+  Arg.(
+    value & flag
+    & info [ "no-flight" ]
+        ~doc:
+          "Disable the flight recorder. It is on by default here: each \
+           run logs its last events (step markers, probed signals, fault \
+           transitions, engine activity) into a fixed per-domain ring, \
+           and the first divergence or unrecovered run dumps the rings \
+           as a forensics bundle (FLIGHT_<name>.jsonl plus a Chrome \
+           trace). Ring capacity: $(b,ECSD_FLIGHT_EVENTS) environment \
+           variable, default 4096 events per domain.")
+
+let enable_flight no_flight =
+  if no_flight then Flight.set_enabled false
+  else begin
+    (match Sys.getenv_opt "ECSD_FLIGHT_EVENTS" with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n > 0 -> Flight.set_capacity n
+        | _ -> die "ECSD_FLIGHT_EVENTS must be a positive integer, got %S" s)
+    | None -> ());
+    Flight.set_enabled true
+  end
+
+let flight_bundle_written = ref false
+
+(* The bundle notice goes to stderr so `serve`'s stdout stays pure
+   JSON-lines; the guard keeps the direct call and the exit-flush
+   registration from writing twice. *)
+let write_flight_bundle name =
+  if not !flight_bundle_written then
+    match Flight.write_captures ~prefix:("FLIGHT_" ^ name) with
+    | Some (jsonl, trace) ->
+        flight_bundle_written := true;
+        Printf.eprintf "flight bundle written to %s and %s\n%!" jsonl trace
+    | None -> ()
 
 let jobs_arg =
   Arg.(
@@ -347,6 +422,7 @@ let diff_sweep ~cfg ~mcu ~float_mode ~opt ~engine ~steps ~ulp ~scenario ~seeds
     | other -> die "unknown model %S (choose servo or isr-demo)" other
   in
   let run_one ctx seed =
+    Flight.begin_track ~id:seed ~name:scenario.Fault_scenario.sname;
     let injector = Some (injector_of scenario seed) in
     try
       match ctx with
@@ -367,13 +443,56 @@ let diff_sweep ~cfg ~mcu ~float_mode ~opt ~engine ~steps ~ulp ~scenario ~seeds
   (* build on this domain first: config errors die here, not on a
      worker, and the workers' compiles then hit the cache *)
   ignore (Domain.DLS.get ctx_key);
-  let f i = run_one (Domain.DLS.get ctx_key) (i + 1) in
+  (* completed runs accumulate here so a `die` mid-sweep still leaves a
+     partial report on disk (satellite of the flight-recorder work) *)
+  let completed_lock = Mutex.create () in
+  let completed = ref [] in
+  let sweep_done = ref false in
+  register_exit_flush (fun () ->
+      write_flight_bundle name;
+      if json && not !sweep_done then begin
+        let runs =
+          List.sort (fun (a, _) (b, _) -> compare a b) !completed
+        in
+        let path = Printf.sprintf "DIFF_%s.partial.json" name in
+        let open Bench_json in
+        write ~path
+          (Obj
+             [
+               ("name", Str name);
+               ("partial", Bool true);
+               ("scenario", Str scenario.Fault_scenario.sname);
+               ("seeds_requested", Int seeds);
+               ("seeds_done", Int (List.length runs));
+               ( "runs",
+                 Arr
+                   (List.map
+                      (fun (seed, r) ->
+                        Obj
+                          [
+                            ("seed", Int seed);
+                            ("steps_run", Int r.Silvm_diff.steps_run);
+                            ( "divergence",
+                              divergence_json r.Silvm_diff.divergence );
+                          ])
+                      runs) );
+             ]);
+        Printf.eprintf "partial JSON report written to %s\n%!" path
+      end);
+  let f i =
+    let r = run_one (Domain.DLS.get ctx_key) (i + 1) in
+    Mutex.lock completed_lock;
+    completed := (i + 1, r) :: !completed;
+    Mutex.unlock completed_lock;
+    r
+  in
   let reports =
     if jobs <= 1 then Array.init seeds f
     else
       Exec_pool.with_pool ~workers:jobs (fun pool ->
           Exec_pool.run_map pool seeds f)
   in
+  sweep_done := true;
   Printf.printf "model              : %s\n" name;
   Printf.printf "fault scenario     : %s (seeds 1..%d)\n"
     scenario.Fault_scenario.sname seeds;
@@ -428,11 +547,13 @@ let diff_sweep ~cfg ~mcu ~float_mode ~opt ~engine ~steps ~ulp ~scenario ~seeds
                    (Array.to_list reports)) );
           ]);
      Printf.printf "JSON report written to %s\n" path);
+  write_flight_bundle name;
   if diverged = 0 then 0 else 1
 
 let diff mcu period fixed model_name steps ulp opt engine scenario_ref
-    fault_seed seeds jobs json trace metrics =
-  with_obs trace metrics @@ fun () ->
+    fault_seed seeds jobs json no_flight profile trace metrics =
+  with_obs ~profile trace metrics @@ fun () ->
+  enable_flight no_flight;
   let scenario = Option.map scenario_or_die scenario_ref in
   let injector = Option.map (fun s -> injector_of s fault_seed) scenario in
   let cfg =
@@ -448,6 +569,9 @@ let diff mcu period fixed model_name steps ulp opt engine scenario_ref
         diff_sweep ~cfg ~mcu ~float_mode ~opt ~engine ~steps ~ulp ~scenario:scn
           ~seeds ~jobs ~json model_name
   else
+  let fname = if model_name = "isr-demo" then "isr_demo" else model_name in
+  register_exit_flush (fun () -> write_flight_bundle fname);
+  Flight.begin_track ~id:fault_seed ~name:fname;
   let name, report =
     try
       match model_name with
@@ -523,6 +647,7 @@ let diff mcu period fixed model_name steps ulp opt engine scenario_ref
             ("divergence", divergence);
           ]);
      Printf.printf "JSON report written to %s\n" path);
+  write_flight_bundle name;
   match report.Silvm_diff.divergence with None -> 0 | Some _ -> 1
 
 let diff_cmd =
@@ -607,12 +732,12 @@ let diff_cmd =
     Term.(
       const diff $ mcu_arg $ period_arg $ fixed_arg $ model_arg $ steps $ ulp
       $ opt_arg $ engine $ scenario $ fault_seed $ seeds $ jobs_arg $ json
-      $ trace_arg $ metrics_arg)
+      $ no_flight_arg $ profile_arg $ trace_arg $ metrics_arg)
 
 (* ---- faultsim ---- *)
 
 let faultsim mcu period fixed model_name scenario_ref seeds t_end jobs list_scn
-    json json_out trace metrics =
+    json json_out no_flight trace metrics =
   if list_scn then begin
     List.iter
       (fun s ->
@@ -623,6 +748,7 @@ let faultsim mcu period fixed model_name scenario_ref seeds t_end jobs list_scn
   end
   else
     with_obs trace metrics @@ fun () ->
+    enable_flight no_flight;
     if model_name <> "servo" then
       die "unknown model %S (faultsim drives the servo case study)" model_name;
     let scenario = scenario_or_die scenario_ref in
@@ -633,12 +759,65 @@ let faultsim mcu period fixed model_name scenario_ref seeds t_end jobs list_scn
              ~scenario ())
       with Invalid_argument msg -> die "%s" msg
     in
+    (* completed runs accumulate so a `die` mid-campaign still leaves a
+       partial report on disk, next to any flight bundle *)
+    let want_json = json || json_out <> None in
+    let completed_lock = Mutex.create () in
+    let completed = ref [] in
+    let campaign_done = ref false in
+    let on_run rr =
+      Mutex.lock completed_lock;
+      completed := rr :: !completed;
+      Mutex.unlock completed_lock
+    in
+    register_exit_flush (fun () ->
+        write_flight_bundle model_name;
+        if want_json && not !campaign_done then begin
+          let runs =
+            List.sort
+              (fun (a : Fault_campaign.run_result) b ->
+                compare a.Fault_campaign.seed b.Fault_campaign.seed)
+              !completed
+          in
+          let path =
+            match json_out with
+            | Some p -> p ^ ".partial"
+            | None -> Printf.sprintf "FAULT_%s.partial.json" model_name
+          in
+          let open Bench_json in
+          let opt_f = function Some s -> Float s | None -> Null in
+          write ~path
+            (Obj
+               [
+                 ("partial", Bool true);
+                 ("model", Str model_name);
+                 ("scenario", Str scenario.Fault_scenario.sname);
+                 ("seeds_requested", Int seeds);
+                 ("seeds_done", Int (List.length runs));
+                 ( "runs",
+                   Arr
+                     (List.map
+                        (fun (r : Fault_campaign.run_result) ->
+                          Obj
+                            [
+                              ("seed", Int r.Fault_campaign.seed);
+                              ("detection_s", opt_f r.Fault_campaign.detection_s);
+                              ("recovery_s", opt_f r.Fault_campaign.recovery_s);
+                              ("wdog_bites", Int r.Fault_campaign.wdog_bites);
+                            ])
+                        runs) );
+               ]);
+          Printf.eprintf "partial JSON report written to %s\n%!" path
+        end);
     let r =
-      if jobs <= 1 then Fault_campaign.run ~t_end ~seeds ~scenario (mk_subject ())
+      if jobs <= 1 then
+        Fault_campaign.run ~t_end ~seeds ~scenario ~on_run (mk_subject ())
       else
         Exec_pool.with_pool ~workers:jobs (fun pool ->
-            Fault_campaign.run_parallel ~t_end ~seeds ~pool ~scenario mk_subject)
+            Fault_campaign.run_parallel ~t_end ~seeds ~pool ~scenario ~on_run
+              mk_subject)
     in
+    campaign_done := true;
     Printf.printf "model              : %s\n" model_name;
     Printf.printf "scenario           : %s\n" r.Fault_campaign.scenario.Fault_scenario.sname;
     List.iter
@@ -684,6 +863,7 @@ let faultsim mcu period fixed model_name scenario_ref seeds t_end jobs list_scn
         in
         Bench_json.write ~path (Fault_campaign.to_json ~model:model_name r);
         Printf.printf "JSON report written to %s\n" path);
+    write_flight_bundle model_name;
     if recovered then 0 else 1
 
 let faultsim_cmd =
@@ -739,8 +919,8 @@ let faultsim_cmd =
           recovers)")
     Term.(
       const faultsim $ mcu_arg $ period_arg $ fixed_arg $ model_arg $ scenario
-      $ seeds $ t_end $ jobs_arg $ list_scn $ json $ json_out $ trace_arg
-      $ metrics_arg)
+      $ seeds $ t_end $ jobs_arg $ list_scn $ json $ json_out $ no_flight_arg
+      $ trace_arg $ metrics_arg)
 
 (* ---- serve ---- *)
 
@@ -752,15 +932,24 @@ let faultsim_cmd =
 
 let serve_usage =
   "faultsim SCENARIO [SEEDS [T_END]]  |  diff MODEL [STEPS [SCENARIO [SEED \
-   [ENGINE]]]]  (SCENARIO '-' = none; ENGINE compiled|interp|both)"
+   [ENGINE]]]]  |  stats  (SCENARIO '-' = none; ENGINE \
+   compiled|interp|both)"
 
-let serve mcu period fixed jobs =
+let serve mcu period fixed jobs heartbeat prom no_flight =
   let cfg = config mcu period fixed in
+  (* serve always runs instrumented: the registry feeds the heartbeat
+     lines, the `stats` job and the --prom snapshot; the flight recorder
+     captures forensics of any diverging or unrecovered job *)
+  Obs.reset ();
+  Obs.set_enabled true;
+  enable_flight no_flight;
+  let t0 = Obs.now_ns () in
   let workers = if jobs >= 1 then jobs else Domain.recommended_domain_count () in
   let pool = Exec_pool.create ~workers () in
   let lock = Mutex.create () in
   let drained = Condition.create () in
   let pending = ref 0 in
+  let jobs_done = ref 0 in
   let next_out = ref 0 in
   let ready : (int, string) Hashtbl.t = Hashtbl.create 64 in
   let emit id line =
@@ -778,6 +967,16 @@ let serve mcu period fixed jobs =
     in
     drain ();
     decr pending;
+    incr jobs_done;
+    if heartbeat > 0 && !jobs_done mod heartbeat = 0 then begin
+      (* interleaves with result lines but is itself one JSON line, so
+         line-by-line consumers stay happy; distinguished by the
+         "heartbeat":true field (result lines carry "id") *)
+      print_endline
+        (Telemetry.heartbeat_line ~jobs_done:!jobs_done ~inflight:!pending
+           ~wall_s:((Obs.now_ns () -. t0) *. 1e-9));
+      flush stdout
+    end;
     Condition.broadcast drained;
     Mutex.unlock lock
   in
@@ -850,11 +1049,51 @@ let serve mcu period fixed jobs =
       ("exit", Int (if ok then 0 else 1));
     ]
   in
+  (* live introspection of the metrics registry, as a queue job so it
+     serialises with the real work in submission order *)
+  let run_stats () =
+    let snap = Obs.snapshot () in
+    let done_now =
+      Mutex.lock lock;
+      let d = !jobs_done in
+      Mutex.unlock lock;
+      d
+    in
+    [
+      ("job", Str "stats");
+      ("jobs_done", Int done_now);
+      ("wall_s", Float (Telemetry.wall ((Obs.now_ns () -. t0) *. 1e-9)));
+      ( "counters",
+        Obj
+          (List.filter_map
+             (fun (k, v) -> if v = 0 then None else Some (k, Int v))
+             snap.Obs.counters) );
+      ("gauges", Obj (List.map (fun (k, v) -> (k, Float v)) snap.Obs.gauges));
+      ( "hists",
+        Obj
+          (List.filter_map
+             (fun (k, hs) ->
+               if hs.Obs.hs_count = 0 then None
+               else
+                 Some
+                   ( k,
+                     Obj
+                       [
+                         ("count", Int hs.Obs.hs_count);
+                         ("p50", Float hs.Obs.hs_p50);
+                         ("p95", Float hs.Obs.hs_p95);
+                         ("max", Float hs.Obs.hs_max);
+                       ] ))
+             snap.Obs.hists) );
+      ("exit", Int 0);
+    ]
+  in
   let parse_job line =
     match
       String.split_on_char ' ' line
       |> List.filter (fun s -> String.trim s <> "")
     with
+    | [ "stats" ] -> fun () -> run_stats ()
     | [ "faultsim"; scn ] -> fun () -> run_faultsim scn 5 2.0
     | [ "faultsim"; scn; seeds ] ->
         fun () -> run_faultsim scn (int_of_string seeds) 2.0
@@ -892,6 +1131,8 @@ let serve mcu period fixed jobs =
     incr pending;
     Mutex.unlock lock;
     Exec_pool.submit pool (fun () ->
+        Flight.begin_track ~id ~name:line;
+        let t_start = Obs.now_ns () in
         let fields =
           try parse_job line ()
           with e ->
@@ -901,6 +1142,10 @@ let serve mcu period fixed jobs =
               ("exit", Int 2);
             ]
         in
+        Obs.record_named "serve.job_s" ((Obs.now_ns () -. t_start) *. 1e-9);
+        (* publish before emit so the heartbeat taken there (and any
+           later `stats` job) sees this job's latency sample *)
+        Obs.publish ();
         emit id (to_string (Obj (("id", Int id) :: fields))))
   in
   let rec read_loop id =
@@ -922,6 +1167,12 @@ let serve mcu period fixed jobs =
   done;
   Mutex.unlock lock;
   Exec_pool.shutdown pool;
+  (match prom with
+  | Some path ->
+      Telemetry.write_prometheus ~path;
+      Printf.eprintf "prometheus snapshot written to %s\n%!" path
+  | None -> ());
+  write_flight_bundle "serve";
   0
 
 let serve_cmd =
@@ -933,15 +1184,38 @@ let serve_cmd =
             "Worker domains (default 0: one per recommended domain, i.e. \
              the machine's cores).")
   in
+  let heartbeat =
+    Arg.(
+      value & opt int 0
+      & info [ "heartbeat" ] ~docv:"N"
+          ~doc:
+            "Every $(docv) completed jobs, emit one JSON heartbeat line \
+             on stdout carrying throughput, the in-flight count and the \
+             job-latency quantiles; heartbeat lines have a \
+             $(b,heartbeat) field, result lines an $(b,id) field. \
+             Default 0: off.")
+  in
+  let prom =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom" ] ~docv:"FILE"
+          ~doc:
+            "After the queue drains, write the metrics registry as a \
+             Prometheus text-exposition snapshot to $(docv).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Campaign queue mode: read jobs from stdin (one per line: \
-          $(b,faultsim SCENARIO [SEEDS [T_END]]) or $(b,diff MODEL [STEPS \
-          [SCENARIO [SEED]]])), run them on a work-stealing domain pool \
-          and stream one JSON result line per job on stdout, in \
-          submission order. Blank lines and $(b,#) comments are skipped.")
-    Term.(const serve $ mcu_arg $ period_arg $ fixed_arg $ jobs)
+          $(b,faultsim SCENARIO [SEEDS [T_END]]), $(b,diff MODEL [STEPS \
+          [SCENARIO [SEED]]]) or $(b,stats)), run them on a work-stealing \
+          domain pool and stream one JSON result line per job on stdout, \
+          in submission order. Blank lines and $(b,#) comments are \
+          skipped.")
+    Term.(
+      const serve $ mcu_arg $ period_arg $ fixed_arg $ jobs $ heartbeat $ prom
+      $ no_flight_arg)
 
 (* ---- analyze ---- *)
 
@@ -1006,7 +1280,8 @@ let check_models = [ "servo"; "closed-loop"; "plant"; "isr-demo" ]
    the reports print in argument order, so stdout and the JSON file are
    byte-identical whatever --jobs is. *)
 let check mcu period fixed model_name preemptive rules suppress jobs json
-    strict =
+    strict profile =
+  with_obs ~profile None false @@ fun () ->
   let model_names =
     if model_name = "all" then check_models
     else
@@ -1156,7 +1431,7 @@ let check_cmd =
           shared-state detection, MISRA-subset C lint")
     Term.(
       const check $ mcu_arg $ period_arg $ fixed_arg $ model_arg $ preemptive
-      $ rules $ suppress $ jobs_arg $ json $ strict)
+      $ rules $ suppress $ jobs_arg $ json $ strict $ profile_arg)
 
 (* ---- simgen ---- *)
 

@@ -4,12 +4,26 @@ type report = {
   notes : string list;
 }
 
+(* per-pass self-profiling: each analysis pass gets an Obs span (flame
+   view) and a profile.check.<pass>_s histogram (--profile table,
+   BENCH_perf.json) *)
+let pass name f =
+  if not (Obs.enabled ()) then f ()
+  else begin
+    let t0 = Obs.now_ns () in
+    let r = Obs.span ("check." ^ name) f in
+    Obs.record_named
+      ("profile.check." ^ name ^ "_s")
+      ((Obs.now_ns () -. t0) *. 1e-9);
+    r
+  end
+
 let run ?rules ?(suppress = []) ?(preemptive = false) ?project m =
   Obs.span "analysis.check" @@ fun () ->
   let notes = ref [] in
   let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
   let comp =
-    match Compile.compile m with
+    match pass "compile" (fun () -> Compile.compile m) with
     | c -> Some c
     | exception Compile.Compile_error _ ->
         note
@@ -17,7 +31,7 @@ let run ?rules ?(suppress = []) ?(preemptive = false) ?project m =
            compile (see MDL findings)";
         None
   in
-  let lint = Model_lint.findings ?project ?comp m in
+  let lint = pass "lint" (fun () -> Model_lint.findings ?project ?comp m) in
   let deep =
     match comp with
     | None -> []
@@ -27,45 +41,54 @@ let run ?rules ?(suppress = []) ?(preemptive = false) ?project m =
           | Some p -> (Bean_project.mcu p).Mcu_db.word_bits
           | None -> 16
         in
-        let range = Range.analyze comp in
-        Range.findings range
-        @ Concurrency.findings ~preemptive ~word_bits comp
-        @ (match project with
-          | Some p -> Concurrency.watchdog_findings ~project:p comp
-          | None -> [])
-        @
-        match project with
-        | None ->
-            note "MISRA C lint skipped: no Processor Expert project attached";
-            []
-        | Some project -> (
-            let unsupported =
-              List.filter
-                (fun b -> not (Blockgen.supported (Model.spec_of m b)))
-                (Model.blocks m)
-            in
-            if unsupported <> [] then begin
-              note "MISRA C lint skipped: no embedded realisation for %s"
-                (String.concat ", "
-                   (List.map
-                      (fun b ->
-                        Printf.sprintf "%s (%s)" (Model.block_name m b)
-                          (Model.spec_of m b).Block.kind)
-                      unsupported));
+        let range_findings =
+          pass "range" (fun () -> Range.findings (Range.analyze comp))
+        in
+        let concurrency_findings =
+          pass "concurrency" (fun () ->
+              Concurrency.findings ~preemptive ~word_bits comp
+              @
+              match project with
+              | Some p -> Concurrency.watchdog_findings ~project:p comp
+              | None -> [])
+        in
+        let misra_findings =
+          match project with
+          | None ->
+              note "MISRA C lint skipped: no Processor Expert project attached";
               []
-            end
-            else
-              match
-                Target.generate ~name:(Model.name m) ~project comp
-              with
-              | arts ->
-                  Misra.lint
-                    (arts.Target.model_h :: arts.Target.model_c
-                   :: arts.Target.main_c :: arts.Target.hal)
-                  @ Mir_rules.findings arts
-              | exception Target.Codegen_error msg ->
-                  note "MISRA C lint skipped: code generation failed: %s" msg;
-                  [])
+          | Some project -> (
+              let unsupported =
+                List.filter
+                  (fun b -> not (Blockgen.supported (Model.spec_of m b)))
+                  (Model.blocks m)
+              in
+              if unsupported <> [] then begin
+                note "MISRA C lint skipped: no embedded realisation for %s"
+                  (String.concat ", "
+                     (List.map
+                        (fun b ->
+                          Printf.sprintf "%s (%s)" (Model.block_name m b)
+                            (Model.spec_of m b).Block.kind)
+                        unsupported));
+                []
+              end
+              else
+                match
+                  pass "codegen" (fun () ->
+                      Target.generate ~name:(Model.name m) ~project comp)
+                with
+                | arts ->
+                    pass "misra" (fun () ->
+                        Misra.lint
+                          (arts.Target.model_h :: arts.Target.model_c
+                         :: arts.Target.main_c :: arts.Target.hal)
+                        @ Mir_rules.findings arts)
+                | exception Target.Codegen_error msg ->
+                    note "MISRA C lint skipped: code generation failed: %s" msg;
+                    [])
+        in
+        range_findings @ concurrency_findings @ misra_findings
   in
   let findings =
     List.filter (fun f -> Diag.rule_selected ?rules f.Diag.rule) (lint @ deep)

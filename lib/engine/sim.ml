@@ -6,10 +6,12 @@ type probe_buf = {
   mutable pb_t : float array;
   mutable pb_v : float array;
   mutable pb_len : int;
+  pb_name : string;  (* block name, so the flight recorder can label
+                        probed-signal events without a lookup per step *)
 }
 
-let probe_buf_create () =
-  { pb_t = Array.make 64 0.0; pb_v = Array.make 64 0.0; pb_len = 0 }
+let probe_buf_create name =
+  { pb_t = Array.make 64 0.0; pb_v = Array.make 64 0.0; pb_len = 0; pb_name = name }
 
 let probe_buf_push pb t v =
   let cap = Array.length pb.pb_t in
@@ -201,7 +203,8 @@ let compiled t = t.comp
 let probe t (b, p) =
   let key = (bi b, p) in
   if not (Hashtbl.mem t.probes key) then
-    Hashtbl.replace t.probes key (probe_buf_create ())
+    Hashtbl.replace t.probes key
+      (probe_buf_create (Model.block_name t.comp.Compile.model b))
 
 let probe_named t name p = probe t (Model.find t.comp.Compile.model name, p)
 
@@ -280,13 +283,31 @@ let integrate t =
     minor_pass (t.now +. t.comp.Compile.base_dt)
   end
 
-let record_probes t =
-  Hashtbl.iter
-    (fun (b, p) pb -> probe_buf_push pb t.now (Value.to_float t.signals.(b).(p)))
-    t.probes
+let record_probes t fr =
+  match fr with
+  | Some r ->
+      Hashtbl.iter
+        (fun (b, p) pb ->
+          let v = Value.to_float t.signals.(b).(p) in
+          probe_buf_push pb t.now v;
+          Flight.signal_r r ~step:t.nstep ~time:t.now ~port:p ~value:v
+            pb.pb_name)
+        t.probes
+  | None ->
+      Hashtbl.iter
+        (fun (b, p) pb ->
+          probe_buf_push pb t.now (Value.to_float t.signals.(b).(p)))
+        t.probes
 
 let step t =
   Obs.span_begin "sim.step";
+  (* one ring fetch per step, shared with the probe burst below *)
+  let fr = if Flight.enabled () then Some (Flight.recorder ()) else None in
+  (match fr with
+  | Some r ->
+      Flight.step_mark_r r ~step:t.nstep ~time:t.now
+        (Model.name t.comp.Compile.model)
+  | None -> ());
   t.events_this_step <- 0;
   Array.iter
     (fun b ->
@@ -296,7 +317,7 @@ let step t =
   Array.iter
     (fun b -> if hit t b then t.behs.(bi b).Block.update ~time:t.now (gather t b))
     t.comp.Compile.order;
-  record_probes t;
+  record_probes t fr;
   integrate t;
   t.now <- t.now +. t.comp.Compile.base_dt;
   t.nstep <- t.nstep + 1;

@@ -18,6 +18,16 @@ let mutex = Mutex.create ()
 let table : (string, Compile.t) Hashtbl.t = Hashtbl.create 16
 let hits = ref 0
 let misses = ref 0
+let evictions = ref 0
+
+(* FIFO bound: long serve sessions cycling through many model configs
+   must not grow the table without limit. Insertion order is a fine
+   eviction policy here — campaign reuse is bursty, not LRU-shaped. *)
+let max_entries = ref 64
+let order : string Queue.t = Queue.create ()
+let c_hits = Obs.counter "exec.cache.hits"
+let c_misses = Obs.counter "exec.cache.misses"
+let c_evictions = Obs.counter "exec.cache.evictions"
 
 let digest m =
   let b = Buffer.create 2048 in
@@ -72,9 +82,13 @@ let compile ?default_dt m =
   | Some comp ->
       incr hits;
       Mutex.unlock mutex;
+      Obs.add c_hits 1;
+      Flight.engine ("mil.cache.hit " ^ String.sub key 0 8);
       comp
   | None ->
       Mutex.unlock mutex;
+      Obs.add c_misses 1;
+      Flight.engine ("mil.compile " ^ String.sub key 0 8);
       (* compile outside the lock: concurrent first-compiles of the same
          key may race and both do the work — last write wins, both
          results are equivalent, and campaign throughput never blocks
@@ -90,17 +104,37 @@ let compile ?default_dt m =
       | None ->
           incr misses;
           Hashtbl.replace table key comp;
+          Queue.push key order;
+          let evicted = ref 0 in
+          while Queue.length order > !max_entries do
+            let victim = Queue.pop order in
+            if Hashtbl.mem table victim then begin
+              Hashtbl.remove table victim;
+              incr evictions;
+              incr evicted
+            end
+          done;
           Mutex.unlock mutex;
+          if !evicted > 0 then Obs.add c_evictions !evicted;
           comp)
 
-let stats () = Mutex.lock mutex;
-  let r = (!hits, !misses) in
+let set_max_entries n =
+  if n < 1 then invalid_arg "Compile_cache.set_max_entries";
+  Mutex.lock mutex;
+  max_entries := n;
+  Mutex.unlock mutex
+
+let stats () =
+  Mutex.lock mutex;
+  let r = (!hits, !misses, !evictions) in
   Mutex.unlock mutex;
   r
 
 let clear () =
   Mutex.lock mutex;
   Hashtbl.reset table;
+  Queue.clear order;
   hits := 0;
   misses := 0;
+  evictions := 0;
   Mutex.unlock mutex

@@ -16,7 +16,11 @@ val compile : ?default_dt:float -> Model.t -> Compile.t
     [default_dt]. Thread-safe; a first-compile race may duplicate work
     but never blocks other keys and always returns the cached winner. *)
 
-val stats : unit -> int * int
-(** [(hits, misses)] since start or {!clear}. *)
+val stats : unit -> int * int * int
+(** [(hits, misses, evictions)] since start or {!clear}. *)
+
+val set_max_entries : int -> unit
+(** FIFO capacity bound (default 64 entries); oldest insertions are
+    evicted first when exceeded. *)
 
 val clear : unit -> unit

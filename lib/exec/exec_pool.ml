@@ -26,6 +26,7 @@ type t = {
   sleepers : int Atomic.t;
   c_tasks : Obs.counter;
   c_steals : Obs.counter;
+  h_task : Obs.hist;  (* per-task latency, seconds *)
 }
 
 (* which pool + worker slot the current domain belongs to, if any *)
@@ -42,6 +43,8 @@ let wake_all pool =
 let submit pool task =
   Mutex.lock pool.lock;
   Queue.push task pool.injector;
+  if Obs.enabled () then
+    Obs.set_gauge "exec.injector_depth" (float_of_int (Queue.length pool.injector));
   Condition.broadcast pool.work_cond;
   Mutex.unlock pool.lock
 
@@ -94,6 +97,19 @@ let run_task pool task =
     prerr_endline
       ("exec_pool: uncaught exception in task: " ^ Printexc.to_string e)
 
+let run_task_timed pool task =
+  if Obs.enabled () then begin
+    let t0 = Obs.now_ns () in
+    run_task pool task;
+    let d = (Obs.now_ns () -. t0) *. 1e-9 in
+    Obs.record pool.h_task d;
+    d
+  end
+  else begin
+    run_task pool task;
+    0.0
+  end
+
 let has_visible_work pool w =
   (not (Queue.is_empty pool.injector))
   || Array.exists (fun d -> Wsdeque.size d > 0) pool.deques
@@ -102,11 +118,15 @@ let has_visible_work pool w =
 let worker_loop pool w () =
   Domain.DLS.get self_key := Some (pool, w);
   let spin_budget = 64 in
+  (* utilization = task time / wall time since the worker started; the
+     gauge is refreshed whenever the worker goes idle *)
+  let t_start = Obs.now_ns () in
+  let busy = ref 0.0 in
   let rec loop spins =
     if pool.live then begin
       match find_task pool w with
       | Some task ->
-          run_task pool task;
+          busy := !busy +. run_task_timed pool task;
           loop spin_budget
       | None ->
           if spins > 0 then begin
@@ -115,6 +135,13 @@ let worker_loop pool w () =
           end
           else begin
             (* going idle: hand our sink to the spawning domain *)
+            if Obs.enabled () then begin
+              let total = (Obs.now_ns () -. t_start) *. 1e-9 in
+              if total > 0.0 then
+                Obs.set_gauge
+                  (Printf.sprintf "exec.util.w%d" w)
+                  (!busy /. total)
+            end;
             Obs.publish ();
             Mutex.lock pool.lock;
             Atomic.incr pool.sleepers;
@@ -152,6 +179,7 @@ let create ?workers () =
       sleepers = Atomic.make 0;
       c_tasks = Obs.counter "exec.tasks";
       c_steals = Obs.counter "exec.steals";
+      h_task = Obs.hist "exec.task_s";
     }
   in
   pool.domains <-

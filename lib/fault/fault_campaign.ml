@@ -44,6 +44,9 @@ let disarm subject = Sim.set_fault_hook subject.sim None
 
 let one_run subject ~scenario ~seed ~steps ~period ~t_end ~wdog_timeout =
   Sim.reset subject.sim;
+  (* the seed is the forensic track id: whichever domain executes this
+     run, its events and any failure capture belong to the seed *)
+  Flight.begin_track ~id:seed ~name:scenario.Fault_scenario.sname;
   let inj = arm subject ~seed scenario in
   let machine = Machine.create subject.mcu in
   let wdog = Wdog_periph.create machine ~timeout:wdog_timeout () in
@@ -101,6 +104,11 @@ let one_run subject ~scenario ~seed ~steps ~period ~t_end ~wdog_timeout =
   for k = steps - tail to steps - 1 do
     sq := !sq +. (err.(k) *. err.(k))
   done;
+  if (not recovered) && Flight.enabled () then
+    Flight.capture
+      ~reason:
+        (Printf.sprintf "unrecovered run: scenario=%s seed=%d"
+           scenario.Fault_scenario.sname seed);
   {
     seed;
     detected = detection_s <> None || wdog_bites > 0;
@@ -119,7 +127,7 @@ let one_run subject ~scenario ~seed ~steps ~period ~t_end ~wdog_timeout =
    byte-identical to the --jobs 1 one with plain cmp. *)
 let wall s = if Sys.getenv_opt "ECSD_WALL_ZERO" = None then s else 0.0
 
-let run ?(t_end = 2.0) ?(seeds = 5) ?wdog_timeout ~scenario subject =
+let run ?(t_end = 2.0) ?(seeds = 5) ?wdog_timeout ?on_run ~scenario subject =
   let period = Sim.base_dt subject.sim in
   let wdog_timeout =
     match wdog_timeout with Some t -> t | None -> 8.0 *. period
@@ -128,14 +136,18 @@ let run ?(t_end = 2.0) ?(seeds = 5) ?wdog_timeout ~scenario subject =
   let t0 = Obs.now_ns () in
   let runs =
     List.init seeds (fun i ->
-        one_run subject ~scenario ~seed:(i + 1) ~steps ~period ~t_end
-          ~wdog_timeout)
+        let r =
+          one_run subject ~scenario ~seed:(i + 1) ~steps ~period ~t_end
+            ~wdog_timeout
+        in
+        (match on_run with Some f -> f r | None -> ());
+        r)
   in
   let wall_s = wall ((Obs.now_ns () -. t0) *. 1e-9) in
   { scenario; t_end; period; runs; steps_per_run = steps; wall_s }
 
-let run_parallel ?(t_end = 2.0) ?(seeds = 5) ?wdog_timeout ~pool ~scenario
-    mk_subject =
+let run_parallel ?(t_end = 2.0) ?(seeds = 5) ?wdog_timeout ?on_run ~pool
+    ~scenario mk_subject =
   (* Every domain — workers and this one — lazily builds its own
      subject: Sim state is mutable and must stay domain-local. The
      probe below runs on the calling domain, warming the compile cache
@@ -157,8 +169,13 @@ let run_parallel ?(t_end = 2.0) ?(seeds = 5) ?wdog_timeout ~pool ~scenario
   let runs =
     Exec_pool.run_map pool seeds (fun i ->
         let subject = Domain.DLS.get subj_key in
-        one_run subject ~scenario ~seed:(i + 1) ~steps ~period ~t_end
-          ~wdog_timeout)
+        let r =
+          one_run subject ~scenario ~seed:(i + 1) ~steps ~period ~t_end
+            ~wdog_timeout
+        in
+        (* called from worker domains: the callback must synchronize *)
+        (match on_run with Some f -> f r | None -> ());
+        r)
   in
   let wall_s = wall ((Obs.now_ns () -. t0) *. 1e-9) in
   {

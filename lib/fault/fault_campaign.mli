@@ -58,6 +58,7 @@ val run :
   ?t_end:float ->
   ?seeds:int ->
   ?wdog_timeout:float ->
+  ?on_run:(run_result -> unit) ->
   scenario:Fault_scenario.t ->
   subject ->
   result
@@ -66,12 +67,15 @@ val run :
     [wdog_timeout] defaults to 8 control periods. The watchdog is
     serviced once per control step unless the scenario suppresses it;
     injected overruns stretch the step's cycle budget so a long enough
-    burst starves the watchdog exactly as it would on the bench. *)
+    burst starves the watchdog exactly as it would on the bench.
+    [on_run] fires after each completed run — the CLI uses it to keep a
+    partial report it can flush if a later run dies. *)
 
 val run_parallel :
   ?t_end:float ->
   ?seeds:int ->
   ?wdog_timeout:float ->
+  ?on_run:(run_result -> unit) ->
   pool:Exec_pool.t ->
   scenario:Fault_scenario.t ->
   (unit -> subject) ->
@@ -83,7 +87,9 @@ val run_parallel :
     {!Compile_cache}). Per-seed runs are independent and
     seed-deterministic, and results merge in seed order, so the report
     equals the sequential one field-for-field except [wall_s]
-    (set [ECSD_WALL_ZERO=1] to zero that too and compare bytes). *)
+    (set [ECSD_WALL_ZERO=1] to zero that too and compare bytes).
+    [on_run] fires on the worker domain that completed the run and must
+    synchronize its own state. *)
 
 val throughput : ?scenario:Fault_scenario.t -> steps:int -> subject -> float
 (** Steps per second over a fresh run, armed with [scenario] when given

@@ -26,6 +26,9 @@ type t = {
 }
 
 let arm ?(seed = 1) scn =
+  if Flight.enabled () then
+    Flight.fault ~time:0.0 ~fired:false
+      (Printf.sprintf "arm %s seed=%d" scn.Fault_scenario.sname seed);
   {
     scn;
     sd = seed;
@@ -66,12 +69,28 @@ let refresh t ~time =
   if not (time = t.cache_time || (time > t.cache_time && time < t.cache_until))
   then begin
     let faults = t.scn.Fault_scenario.faults in
+    let prev = t.cache_active in
     t.cache_active <- List.filter (fun fl -> Fault.active fl ~time) faults;
     t.cache_time <- time;
     t.cache_until <-
       List.fold_left
         (fun acc fl -> Float.min acc (Fault.next_transition fl ~time))
-        infinity faults
+        infinity faults;
+    (* fire/clear transitions are exactly the active-set edges; rare, so
+       the recorder work (and Fault.name's allocation) stays off the
+       steady-state path *)
+    if Flight.enabled () && t.cache_active != prev then begin
+      List.iter
+        (fun fl ->
+          if not (List.memq fl prev) then
+            Flight.fault ~time ~fired:true (Fault.name fl))
+        t.cache_active;
+      List.iter
+        (fun fl ->
+          if not (List.memq fl t.cache_active) then
+            Flight.fault ~time ~fired:false (Fault.name fl))
+        prev
+    end
   end
 
 let quiescent t ~time =

@@ -28,6 +28,10 @@ type t =
 val to_string : t -> string
 (** Compact JSON. Non-finite floats are emitted as [null]. *)
 
+val float_str : float -> string
+(** Deterministic shortest-round-trip float formatting (the number syntax
+    used by {!to_string}). *)
+
 exception Parse_error of string
 
 val parse : string -> t

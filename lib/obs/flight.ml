@@ -1,0 +1,364 @@
+(* Flight recorder: fixed-capacity, per-domain ring buffer of binary trace
+   events, cheap enough to leave armed through whole campaigns.
+
+   Design notes, because the determinism bar is unusual:
+
+   - Each domain owns one ring (Domain.DLS); the owning domain is the only
+     writer, so recording takes no lock and never allocates on the hot path
+     (all slots are preallocated unboxed arrays, structure-of-arrays).
+
+   - Events belong to a logical *track* (the campaign seed / job id), not to
+     the domain that happened to execute them. A run calls [begin_track]
+     before stepping; every event it records carries the track id and a
+     per-track sequence number. When a run fails, [capture] snapshots the
+     ring *on the executing domain, filtered to the current track*. Because
+     eviction is positional (slot i is simply overwritten), the surviving
+     events of track S are always the last [min n_S cap] events S recorded —
+     independent of whatever other tracks previously ran on the same domain.
+     That is what makes forensics bundles byte-identical whatever [--jobs]
+     is: the same seed records the same events in the same order, and the
+     capture window depends only on the track's own history.
+
+   - Engine-level events (compile-cache hits/misses, closure compilation)
+     are attributed to the pseudo-track [engine_track] = -1. Cache races are
+     scheduling-dependent, so they must never leak into a per-run forensics
+     bundle; they are still visible via [ring_dump] for interactive use.
+
+   - Bundles carry only virtual time (step index, simulated seconds), never
+     wall-clock, so byte-comparison across runs and job counts is exact. *)
+
+type kind = Step | Signal | Fault | Engine | Mark
+
+let kind_name = function
+  | Step -> "step"
+  | Signal -> "signal"
+  | Fault -> "fault"
+  | Engine -> "engine"
+  | Mark -> "mark"
+
+(* slot encoding: 0 = empty; recorders store 1=step 2=signal 3=fault
+   4=engine 5=mark directly *)
+let kind_of_code = function
+  | 1 -> Step
+  | 2 -> Signal
+  | 3 -> Fault
+  | 4 -> Engine
+  | _ -> Mark
+
+type event = {
+  ev_kind : kind;
+  ev_track : int;
+  ev_seq : int;  (* per-track sequence number, 0-based *)
+  ev_step : int;  (* simulation step index, -1 if not applicable *)
+  ev_time : float;  (* simulated seconds, not wall clock *)
+  ev_value : float;
+  ev_arg : int;  (* port index / fired flag, event-kind specific *)
+  ev_label : string;
+}
+
+type ring = {
+  cap : int;
+  kinds : int array;  (* 0 = empty slot *)
+  tracks : int array;
+  seqs : int array;
+  steps : int array;
+  times : float array;
+  values : float array;
+  args : int array;
+  labels : string array;
+  mutable next : int;  (* next slot to overwrite *)
+  mutable track : int;  (* current logical track *)
+  mutable track_name : string;
+  mutable seq : int;  (* next seq for the current track *)
+  mutable eng_seq : int;  (* next seq for the engine pseudo-track *)
+}
+
+let engine_track = -1
+let on = ref false
+let enabled () = !on
+let set_enabled b = on := b
+
+(* read at ring creation; set it before any domain records *)
+let default_capacity = ref 4096
+
+let ring_create cap =
+  {
+    cap;
+    kinds = Array.make cap 0;
+    tracks = Array.make cap 0;
+    seqs = Array.make cap 0;
+    steps = Array.make cap 0;
+    times = Array.make cap 0.0;
+    values = Array.make cap 0.0;
+    args = Array.make cap 0;
+    labels = Array.make cap "";
+    next = 0;
+    track = 0;
+    track_name = "";
+    seq = 0;
+    eng_seq = 0;
+  }
+
+let ring_key = Domain.DLS.new_key (fun () -> ring_create !default_capacity)
+let ring () = Domain.DLS.get ring_key
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Flight.set_capacity";
+  default_capacity := n;
+  Domain.DLS.set ring_key (ring_create n)
+
+let capacity () = (ring ()).cap
+
+let begin_track ~id ~name =
+  if !on then begin
+    let r = ring () in
+    r.track <- id;
+    r.track_name <- name;
+    r.seq <- 0
+  end
+
+let current_track () = (ring ()).track
+
+(* hot path: one bounds check avoided per field via unsafe stores; the slot
+   index is (next mod cap) by construction *)
+let record r code track seq step time value arg label =
+  let i = r.next in
+  Array.unsafe_set r.kinds i code;
+  Array.unsafe_set r.tracks i track;
+  Array.unsafe_set r.seqs i seq;
+  Array.unsafe_set r.steps i step;
+  Array.unsafe_set r.times i time;
+  Array.unsafe_set r.values i value;
+  Array.unsafe_set r.args i arg;
+  Array.unsafe_set r.labels i label;
+  let j = i + 1 in
+  r.next <- (if j = r.cap then 0 else j)
+
+let record_track r code step time value arg label =
+  let s = r.seq in
+  r.seq <- s + 1;
+  record r code r.track s step time value arg label
+
+let step_mark ~step ~time label =
+  if !on then record_track (ring ()) 1 step time 0.0 0 label
+
+let signal ~step ~time ~port ~value label =
+  if !on then record_track (ring ()) 2 step time value port label
+
+(* batched variants: the caller fetched the domain's ring once and
+   checked [enabled] itself — per-event cost is then just the stores *)
+type recorder = ring
+
+let recorder () = ring ()
+let step_mark_r r ~step ~time label = record_track r 1 step time 0.0 0 label
+
+let signal_r r ~step ~time ~port ~value label =
+  record_track r 2 step time value port label
+
+let fault ?(step = -1) ~time ~fired label =
+  if !on then
+    record_track (ring ()) 3 step time 0.0 (if fired then 1 else 0) label
+
+let engine label =
+  if !on then begin
+    let r = ring () in
+    let s = r.eng_seq in
+    r.eng_seq <- s + 1;
+    record r 4 engine_track s (-1) 0.0 0.0 0 label
+  end
+
+let mark ?(step = -1) ?(time = 0.0) ?(value = 0.0) label =
+  if !on then record_track (ring ()) 5 step time value 0 label
+
+(* -- capture ------------------------------------------------------------- *)
+
+type bundle = {
+  b_track : int;
+  b_name : string;
+  b_reason : string;
+  b_dropped : int;  (* events of this track evicted before capture *)
+  b_events : event list;  (* seq ascending *)
+}
+
+let cap_mutex = Mutex.create ()
+let cap_tbl : (int, bundle) Hashtbl.t = Hashtbl.create 8
+
+let snapshot_track r ~reason =
+  let evs = ref [] in
+  for i = r.cap - 1 downto 0 do
+    if r.kinds.(i) <> 0 && r.tracks.(i) = r.track then
+      evs :=
+        {
+          ev_kind = kind_of_code r.kinds.(i);
+          ev_track = r.tracks.(i);
+          ev_seq = r.seqs.(i);
+          ev_step = r.steps.(i);
+          ev_time = r.times.(i);
+          ev_value = r.values.(i);
+          ev_arg = r.args.(i);
+          ev_label = r.labels.(i);
+        }
+        :: !evs
+  done;
+  let events =
+    List.sort (fun a b -> compare a.ev_seq b.ev_seq) !evs
+  in
+  {
+    b_track = r.track;
+    b_name = r.track_name;
+    b_reason = reason;
+    b_dropped = r.seq - List.length events;
+    b_events = events;
+  }
+
+(* First capture per track wins: a run's first divergence is the forensic
+   moment; later captures of the same track (retries, later failures) are
+   ignored so the bundle is stable. *)
+let capture ~reason =
+  if !on then begin
+    let b = snapshot_track (ring ()) ~reason in
+    Mutex.lock cap_mutex;
+    if not (Hashtbl.mem cap_tbl b.b_track) then
+      Hashtbl.replace cap_tbl b.b_track b;
+    Mutex.unlock cap_mutex
+  end
+
+let captures () =
+  Mutex.lock cap_mutex;
+  let l = Hashtbl.fold (fun _ b acc -> b :: acc) cap_tbl [] in
+  Mutex.unlock cap_mutex;
+  List.sort (fun a b -> compare a.b_track b.b_track) l
+
+let clear_captures () =
+  Mutex.lock cap_mutex;
+  Hashtbl.reset cap_tbl;
+  Mutex.unlock cap_mutex
+
+let reset () =
+  clear_captures ();
+  Domain.DLS.set ring_key (ring_create !default_capacity)
+
+(* raw dump of the calling domain's ring, oldest first; interactive use *)
+let ring_dump () =
+  let r = ring () in
+  let evs = ref [] in
+  for k = r.cap - 1 downto 0 do
+    let i = (r.next + k) mod r.cap in
+    if r.kinds.(i) <> 0 then
+      evs :=
+        {
+          ev_kind = kind_of_code r.kinds.(i);
+          ev_track = r.tracks.(i);
+          ev_seq = r.seqs.(i);
+          ev_step = r.steps.(i);
+          ev_time = r.times.(i);
+          ev_value = r.values.(i);
+          ev_arg = r.args.(i);
+          ev_label = r.labels.(i);
+        }
+        :: !evs
+  done;
+  !evs
+
+(* -- export -------------------------------------------------------------- *)
+
+let event_json e =
+  Bench_json.Obj
+    [
+      ("kind", Bench_json.Str (kind_name e.ev_kind));
+      ("track", Bench_json.Int e.ev_track);
+      ("seq", Bench_json.Int e.ev_seq);
+      ("step", Bench_json.Int e.ev_step);
+      ("time", Bench_json.Float e.ev_time);
+      ("value", Bench_json.Float e.ev_value);
+      ("arg", Bench_json.Int e.ev_arg);
+      ("label", Bench_json.Str e.ev_label);
+    ]
+
+let bundle_jsonl b buf =
+  Buffer.add_string buf
+    (Bench_json.to_string
+       (Bench_json.Obj
+          [
+            ("bundle", Bench_json.Int b.b_track);
+            ("name", Bench_json.Str b.b_name);
+            ("reason", Bench_json.Str b.b_reason);
+            ("events", Bench_json.Int (List.length b.b_events));
+            ("dropped", Bench_json.Int b.b_dropped);
+          ]));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Bench_json.to_string (event_json e));
+      Buffer.add_char buf '\n')
+    b.b_events
+
+(* one JSONL document for all captured bundles, sorted by track id:
+   byte-identical however the tracks were scheduled *)
+let captures_jsonl () =
+  let buf = Buffer.create 4096 in
+  List.iter (fun b -> bundle_jsonl b buf) (captures ());
+  Buffer.contents buf
+
+let esc s =
+  let b = Buffer.create (String.length s) in
+  Obs.json_escape b s;
+  Buffer.contents b
+
+(* Chrome-trace view: one lane (tid) per track, instant events placed at
+   simulated-microsecond timestamps *)
+let captures_chrome () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[";
+  let first = ref true in
+  let emit s =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    Buffer.add_string buf s
+  in
+  emit
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+     \"args\":{\"name\":\"ecsd flight recorder\"}}";
+  List.iter
+    (fun b ->
+      let tid = b.b_track + 2 in
+      (* keep tids positive; engine pseudo-track -1 maps to 1 *)
+      emit
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\
+            \"args\":{\"name\":\"track %d %s\"}}"
+           tid b.b_track (esc b.b_name));
+      List.iter
+        (fun e ->
+          let ts = e.ev_time *. 1e6 in
+          emit
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\
+                \"ts\":%s,\"pid\":1,\"tid\":%d,\"args\":{\"seq\":%d,\
+                \"step\":%d,\"value\":%s,\"arg\":%d}}"
+               (esc e.ev_label)
+               (kind_name e.ev_kind)
+               (Bench_json.float_str ts)
+               tid e.ev_seq e.ev_step
+               (Bench_json.float_str e.ev_value)
+               e.ev_arg))
+        b.b_events)
+    (captures ());
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf
+
+(* Write FLIGHT_<name>.jsonl + FLIGHT_<name>_trace.json when any bundles were
+   captured; returns the pair of paths. *)
+let write_captures ~prefix =
+  if captures () = [] then None
+  else begin
+    let jsonl_path = prefix ^ ".jsonl" in
+    let trace_path = prefix ^ "_trace.json" in
+    let dump path s =
+      let oc = open_out path in
+      output_string oc s;
+      close_out oc
+    in
+    dump jsonl_path (captures_jsonl ());
+    dump trace_path (captures_chrome ());
+    Some (jsonl_path, trace_path)
+  end

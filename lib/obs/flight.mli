@@ -1,0 +1,119 @@
+(** Flight recorder: per-domain, fixed-capacity ring of binary trace events.
+
+    Always-on-grade instrumentation for campaigns: recording an event is a
+    handful of unboxed array stores on the owning domain (no lock, no
+    allocation), and a disabled recorder costs one ref read.
+
+    Events belong to a logical {e track} — the campaign seed or serve job
+    id — not to the domain that executed them. A run calls {!begin_track}
+    before stepping; on failure it calls {!capture}, which snapshots the
+    last [capacity] events {e of that track} from the executing domain's
+    ring. Because each track's events and its capture point are functions
+    of the run alone, the resulting forensics bundles are byte-identical
+    whatever [--jobs] is. Engine-level events (compile cache, closure
+    compilation) are scheduling-dependent and live on the pseudo-track
+    {!engine_track}, which is never captured into bundles.
+
+    Bundles carry only virtual time (step index, simulated seconds). *)
+
+type kind = Step | Signal | Fault | Engine | Mark
+
+val kind_name : kind -> string
+
+type event = {
+  ev_kind : kind;
+  ev_track : int;
+  ev_seq : int;  (** per-track sequence number, 0-based *)
+  ev_step : int;  (** simulation step index, [-1] if not applicable *)
+  ev_time : float;  (** simulated seconds, never wall clock *)
+  ev_value : float;
+  ev_arg : int;  (** kind-specific: port index, fired flag *)
+  ev_label : string;
+}
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Enable recording process-wide. Flip before spawning worker domains. *)
+
+val set_capacity : int -> unit
+(** Ring slots per domain (default 4096). Takes effect for rings created
+    after the call; also replaces the calling domain's ring. Set it before
+    any worker domain records. *)
+
+val capacity : unit -> int
+
+val engine_track : int
+(** Pseudo-track ([-1]) for compile/cache events; excluded from bundles. *)
+
+val begin_track : id:int -> name:string -> unit
+(** Start (or resume) logical track [id] on the calling domain and reset
+    its per-track sequence counter. *)
+
+val current_track : unit -> int
+
+(** Hot-path recorders; no-ops when disabled. *)
+
+val step_mark : step:int -> time:float -> string -> unit
+val signal : step:int -> time:float -> port:int -> value:float -> string -> unit
+val fault : ?step:int -> time:float -> fired:bool -> string -> unit
+val engine : string -> unit
+val mark : ?step:int -> ?time:float -> ?value:float -> string -> unit
+
+(** {2 Batched hot path}
+
+    A [recorder] is the calling domain's ring, fetched once (one DLS
+    lookup) and then used for a burst of events — e.g. one simulation
+    step's marker plus every probed output. The [_r] recorders skip the
+    {!enabled} check: only use them after [enabled ()] returned true,
+    never share a recorder across domains, and never hold one beyond
+    the current burst. *)
+
+type recorder
+
+val recorder : unit -> recorder
+val step_mark_r : recorder -> step:int -> time:float -> string -> unit
+
+val signal_r :
+  recorder -> step:int -> time:float -> port:int -> value:float -> string -> unit
+
+(** {2 Forensics capture} *)
+
+type bundle = {
+  b_track : int;
+  b_name : string;
+  b_reason : string;
+  b_dropped : int;  (** events of this track evicted before capture *)
+  b_events : event list;  (** ascending [ev_seq] *)
+}
+
+val capture : reason:string -> unit
+(** Snapshot the calling domain's ring filtered to the current track into
+    the global capture store. First capture per track wins. *)
+
+val captures : unit -> bundle list
+(** All captured bundles, sorted by track id. *)
+
+val clear_captures : unit -> unit
+
+val reset : unit -> unit
+(** Clear captures and replace the calling domain's ring. *)
+
+val ring_dump : unit -> event list
+(** Raw contents of the calling domain's ring, oldest first (all tracks,
+    including {!engine_track}); interactive use only. *)
+
+(** {2 Export} *)
+
+val captures_jsonl : unit -> string
+(** One JSONL document for all bundles: a header line per bundle followed
+    by its events. Byte-identical however tracks were scheduled. *)
+
+val captures_chrome : unit -> string
+(** Chrome-trace (chrome://tracing) view: one lane per track, instant
+    events at simulated-microsecond timestamps. *)
+
+val write_captures : prefix:string -> (string * string) option
+(** Write [<prefix>.jsonl] and [<prefix>_trace.json] if any bundles were
+    captured; [None] when there is nothing to write. *)
+
+val event_json : event -> Bench_json.t

@@ -81,10 +81,18 @@ type span = {
   sp_dur_ns : float;
   sp_depth : int;
   sp_count : int;
+  sp_dom : int;  (* domain the span completed on; Chrome lane assignment *)
 }
 
 let dummy_span =
-  { sp_name = ""; sp_start_ns = 0.0; sp_dur_ns = 0.0; sp_depth = 0; sp_count = 0 }
+  {
+    sp_name = "";
+    sp_start_ns = 0.0;
+    sp_dur_ns = 0.0;
+    sp_depth = 0;
+    sp_count = 0;
+    sp_dom = 0;
+  }
 
 let max_depth = 64
 
@@ -254,6 +262,7 @@ let span_end () =
             sp_dur_ns = now_ns () -. s.stack_t0.(d);
             sp_depth = d;
             sp_count = s.stack_cnt.(d);
+            sp_dom = (Domain.self () :> int);
           }
     end
   end
@@ -291,7 +300,10 @@ let span_order a b =
       if c <> 0 then c
       else
         let c = compare a.sp_depth b.sp_depth in
-        if c <> 0 then c else compare a.sp_count b.sp_count
+        if c <> 0 then c
+        else
+          let c = compare a.sp_count b.sp_count in
+          if c <> 0 then c else compare a.sp_dom b.sp_dom
 
 let spans () =
   let own = sink_spans (local ()) in
@@ -603,19 +615,40 @@ let chrome_trace () =
       infinity sps
   in
   let t0 = if Float.is_finite t0 then t0 else 0.0 in
+  (* one lane per domain: map distinct domain ids (sorted, so the
+     assignment is deterministic) to compact tids starting at 1 *)
+  let doms =
+    Array.fold_left (fun acc sp -> sp.sp_dom :: acc) [] sps
+    |> List.sort_uniq compare
+  in
+  let tid_of d =
+    let rec idx i = function
+      | [] -> 1
+      | x :: t -> if x = d then i else idx (i + 1) t
+    in
+    idx 1 doms
+  in
   let b = Buffer.create (4096 + (Array.length sps * 96)) in
   Buffer.add_string b "{\"traceEvents\":[";
   Buffer.add_string b
     (Printf.sprintf
-       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"ecsd\",\"wall_start\":%.6f}}"
+       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"ecsd\",\"wall_start\":%.6f}}"
        !wall0);
+  List.iter
+    (fun d ->
+      Buffer.add_string b
+        (Printf.sprintf
+           ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"domain %d\"}}"
+           (tid_of d) d))
+    doms;
   Array.iter
     (fun sp ->
       Buffer.add_string b ",{\"name\":\"";
       json_escape b sp.sp_name;
       Buffer.add_string b
         (Printf.sprintf
-           "\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"depth\":%d,\"count\":%d}}"
+           "\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"depth\":%d,\"count\":%d}}"
+           (tid_of sp.sp_dom)
            ((sp.sp_start_ns -. t0) /. 1e3)
            (sp.sp_dur_ns /. 1e3) sp.sp_depth sp.sp_count))
     sps;

@@ -48,6 +48,7 @@ type span = {
   sp_dur_ns : float;
   sp_depth : int;  (** nesting depth at entry, outermost = 0 *)
   sp_count : int;  (** per-span counter, bumped by {!bump} *)
+  sp_dom : int;  (** id of the domain the span completed on *)
 }
 
 val span_begin : string -> unit
@@ -70,9 +71,14 @@ val set_ring_capacity : int -> unit
 
 val chrome_trace : unit -> string
 (** The ring as a Chrome [chrome://tracing] / Perfetto JSON document
-    (complete "X" events, microsecond timestamps). *)
+    (complete "X" events, microsecond timestamps, one [tid] lane per
+    domain with [thread_name] metadata). *)
 
 val write_chrome_trace : path:string -> unit
+
+val json_escape : Buffer.t -> string -> unit
+(** Append [s] to [b] with JSON string escaping (shared by the trace
+    exporters). *)
 
 (** {2 Counters and gauges} *)
 

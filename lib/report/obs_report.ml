@@ -107,3 +107,36 @@ let metrics_table (snap : Obs.snapshot) =
       snap.Obs.hists
   end;
   if Buffer.length b = 0 then "no metrics recorded\n" else Buffer.contents b
+
+(* self-profiling view: the profile.* histograms recorded by the
+   per-pass/per-phase timing hooks, with aggregate totals — the
+   --profile rendering *)
+let profile_table (snap : Obs.snapshot) =
+  let prefix = "profile." in
+  let is_profile k =
+    String.length k > String.length prefix
+    && String.sub k 0 (String.length prefix) = prefix
+  in
+  let rows =
+    List.filter (fun (k, hs) -> is_profile k && hs.Obs.hs_count > 0)
+      snap.Obs.hists
+  in
+  if rows = [] then "no profile samples recorded (is --profile on?)\n"
+  else begin
+    let b = Buffer.create 512 in
+    Buffer.add_string b
+      (Printf.sprintf "%-36s %8s %12s %12s %12s\n" "pass" "calls" "total"
+         "mean" "max");
+    List.iter
+      (fun (k, hs) ->
+        let name = String.sub k (String.length prefix)
+            (String.length k - String.length prefix)
+        in
+        let total = hs.Obs.hs_mean *. float_of_int hs.Obs.hs_count in
+        Buffer.add_string b
+          (Printf.sprintf "%-36s %8d %12s %12s %12s\n" name hs.Obs.hs_count
+             (fmt_time_s total) (fmt_time_s hs.Obs.hs_mean)
+             (fmt_time_s hs.Obs.hs_max)))
+      rows;
+    Buffer.contents b
+  end

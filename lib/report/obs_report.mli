@@ -9,3 +9,7 @@ val flame_summary : Obs.span array -> string
 val metrics_table : Obs.snapshot -> string
 (** Counters, gauges and histogram summaries (latency columns rendered
     in engineering units). *)
+
+val profile_table : Obs.snapshot -> string
+(** The [profile.*] histograms (per-pass / per-phase self-timing hooks)
+    as a calls/total/mean/max table — the [--profile] rendering. *)

@@ -68,9 +68,21 @@ let call app fn args =
   | Interp interp -> ignore (Silvm_interp.call interp fn args)
   | Compiled { code; st; _ } -> ignore (Silvm_compile.call code st fn args)
 
+(* engine-level live metrics *)
+let c_sil_steps = Obs.counter "silvm.steps"
+
 let create ?(mode = Blockgen.Pil) ?(opt = false) ?(engine = `Compiled) ~name
     ~project comp =
-  let arts = Target.generate ~mode ~opt ~name ~project comp in
+  let arts =
+    if Obs.enabled () then begin
+      let t0 = Obs.now_ns () in
+      let arts = Target.generate ~mode ~opt ~name ~project comp in
+      Obs.record_named "profile.silvm.codegen_s"
+        ((Obs.now_ns () -. t0) *. 1e-9);
+      arts
+    end
+    else Target.generate ~mode ~opt ~name ~project comp
+  in
   let units = [ arts.Target.model_h; arts.Target.model_c ] in
   let backend =
     match engine with
@@ -138,13 +150,20 @@ let initialize app =
 
 (* one base-rate step: the periodic part, then the ISR groups of every
    bean event that fired in this period *)
-let step app =
+let step_fr fr app =
+  (match fr with
+  | Some r -> Flight.step_mark_r r ~step:app.steps ~time:app.time app.name
+  | None -> ());
   call app (app.name ^ "_step") [];
   List.iter
     (fun (d, fn) -> if app.steps mod d = 0 then call app fn [])
     app.events;
   app.steps <- app.steps + 1;
-  app.time <- app.time +. app.comp.Compile.base_dt
+  app.time <- app.time +. app.comp.Compile.base_dt;
+  Obs.add c_sil_steps 1
+
+let step app =
+  step_fr (if Flight.enabled () then Some (Flight.recorder ()) else None) app
 
 let set_sensor app slot v =
   match app.backend with
@@ -206,19 +225,22 @@ let n_actuators app =
 
 let run_n_steps ?stimulus ?feedback app n =
   let n_act = n_actuators app in
+  let t_batch = if Obs.enabled () then Obs.now_ns () else 0.0 in
   let trace =
     Bigarray.Array2.create Bigarray.int16_unsigned Bigarray.c_layout n
       (max 1 n_act)
   in
   Bigarray.Array2.fill trace 0;
   let row = Array.make (max 1 n_act) 0 in
+  (* one recorder fetch for the whole batch, not one per step *)
+  let fr = if Flight.enabled () then Some (Flight.recorder ()) else None in
   for k = 0 to n - 1 do
     (match stimulus with
     | None -> ()
     | Some f ->
         let sensors = f k in
         Array.iteri (fun slot v -> set_sensor app slot v) sensors);
-    step app;
+    step_fr fr app;
     (match app.backend with
     | Compiled { st; _ } when n_act > 0 ->
         (* vectorized snapshot: blit the exchange buffer into row k *)
@@ -237,6 +259,13 @@ let run_n_steps ?stimulus ?feedback app n =
         done;
         f k row
   done;
+  if Obs.enabled () then begin
+    (* engine throughput, visible live in heartbeats / Prometheus *)
+    let dt = (Obs.now_ns () -. t_batch) *. 1e-9 in
+    Obs.record_named "silvm.batch_steps" (float_of_int n);
+    if dt > 0.0 then
+      Obs.set_gauge "silvm.steps_per_s" (float_of_int n /. dt)
+  end;
   trace
 
 (* first (step, slot) where two runs disagree; whole-row comparison is

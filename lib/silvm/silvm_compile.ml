@@ -1103,6 +1103,8 @@ let cache : (string, code) Hashtbl.t = Hashtbl.create 16
 let cache_mutex = Mutex.create ()
 let cache_hits = ref 0
 let cache_misses = ref 0
+let c_hits = Obs.counter "silvm.cache.hits"
+let c_misses = Obs.counter "silvm.cache.misses"
 
 let digest (units : cunit list) =
   Digest.to_hex (Digest.string (Marshal.to_string units []))
@@ -1114,11 +1116,19 @@ let compile_cached (units : cunit list) : code =
   | Some code ->
       incr cache_hits;
       Mutex.unlock cache_mutex;
+      Obs.add c_hits 1;
+      Flight.engine ("silvm.cache.hit " ^ String.sub key 0 8);
       code
   | None ->
       incr cache_misses;
       Mutex.unlock cache_mutex;
+      Obs.add c_misses 1;
+      Flight.engine ("silvm.compile " ^ String.sub key 0 8);
+      let t0 = if Obs.enabled () then Obs.now_ns () else 0.0 in
       let code = compile units in
+      if Obs.enabled () then
+        Obs.record_named "profile.silvm.compile_s"
+          ((Obs.now_ns () -. t0) *. 1e-9);
       Mutex.lock cache_mutex;
       Hashtbl.replace cache key code;
       Mutex.unlock cache_mutex;

@@ -122,6 +122,14 @@ let sil_bits_equal a b =
 
 exception Stop of divergence
 
+(* CI drill: ECSD_DIVERGE_AT=<k> fabricates a divergence at lock-step k,
+   exercising the whole forensics path (flight-recorder capture, bundle
+   write, nonzero exit) on a model that genuinely agrees *)
+let forced_divergence_at () =
+  match Sys.getenv_opt "ECSD_DIVERGE_AT" with
+  | Some s -> int_of_string_opt s
+  | None -> None
+
 let run ?(steps = 1000) ?(float_mode = Exact) ?(opt = false) ?(engine = Compiled)
     ?plant ?stimulus ?injector ~name ~project comp =
   Obs.span "silvm.diff" @@ fun () ->
@@ -148,14 +156,24 @@ let run ?(steps = 1000) ?(float_mode = Exact) ?(opt = false) ?(engine = Compiled
   let base = comp.Compile.base_dt in
   let mil_t = ref 0.0 and sil_t = ref 0.0 in
   let steps_done = ref 0 in
+  let force_at = forced_divergence_at () in
   let result =
     try
       for k = 0 to steps - 1 do
         let time = float_of_int k *. base in
         let perturb s =
-          match injector with
-          | Some i -> i.inj_sensors ~step:k ~time s
-          | None -> s
+          let s =
+            match injector with
+            | Some i -> i.inj_sensors ~step:k ~time s
+            | None -> s
+          in
+          if Flight.enabled () then
+            Array.iteri
+              (fun slot v ->
+                Flight.signal ~step:k ~time ~port:slot ~value:(float_of_int v)
+                  "sensor")
+              s;
+          s
         in
         (match plant, stimulus with
         | Some (Plant (p, d)), _ ->
@@ -172,6 +190,20 @@ let run ?(steps = 1000) ?(float_mode = Exact) ?(opt = false) ?(engine = Compiled
         let faults () =
           match injector with Some i -> i.inj_active ~time | None -> []
         in
+        (match force_at with
+        | Some k' when k = k' ->
+            raise
+              (Stop
+                 {
+                   d_step = k;
+                   d_time = time;
+                   d_block = "__forced";
+                   d_port = 0;
+                   d_mil = "forced";
+                   d_sil = "forced";
+                   d_faults = faults ();
+                 })
+        | _ -> ());
         List.iter
           (fun (b, p) ->
             let mil = Sim.value sim (b, p) in
@@ -214,7 +246,19 @@ let run ?(steps = 1000) ?(float_mode = Exact) ?(opt = false) ?(engine = Compiled
         | None -> ()
       done;
       None
-    with Stop d -> Some d
+    with Stop d ->
+      (* forensic moment: record the mismatch itself, then freeze the
+         window of this track's events that led to it *)
+      if Flight.enabled () then begin
+        Flight.mark ~step:d.d_step ~time:d.d_time
+          (Printf.sprintf "divergence %s[%d] mil=%s sil=%s" d.d_block d.d_port
+             d.d_mil d.d_sil);
+        Flight.capture
+          ~reason:
+            (Printf.sprintf "diff divergence at step %d on %s port %d"
+               d.d_step d.d_block d.d_port)
+      end;
+      Some d
   in
   {
     steps_run = !steps_done;

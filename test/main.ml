@@ -33,4 +33,5 @@ let () =
       ("silvm-compile", Test_silvm_compile.suite);
       ("fault", Test_fault.suite);
       ("exec", Test_exec.suite);
+      ("flight", Test_flight.suite);
     ]

@@ -193,7 +193,7 @@ let test_compile_cache () =
   let c1 = Compile_cache.compile m1 in
   let c2 = Compile_cache.compile m2 in
   Alcotest.(check bool) "shared artifact" true (c1 == c2);
-  let h, m = Compile_cache.stats () in
+  let h, m, _ = Compile_cache.stats () in
   Alcotest.(check int) "one miss" 1 m;
   Alcotest.(check int) "one hit" 1 h;
   (* different config => different digest *)
@@ -230,6 +230,31 @@ let test_compile_cache_simulates () =
   in
   Alcotest.(check (float 0.0)) "identical trajectory" (run fresh) (run cached);
   Compile_cache.clear ()
+
+(* bounded cache: FIFO eviction keeps at most max_entries artifacts and
+   counts the victims *)
+let test_compile_cache_eviction () =
+  Compile_cache.clear ();
+  Compile_cache.set_max_entries 1;
+  Fun.protect
+    ~finally:(fun () ->
+      Compile_cache.set_max_entries 64;
+      Compile_cache.clear ())
+  @@ fun () ->
+  let built = Servo_system.build () in
+  let m1 = built.Servo_system.controller in
+  let c1 = Compile_cache.compile m1 in
+  (* same model under a different dt: a second key, evicting the first *)
+  let _c2 = Compile_cache.compile ~default_dt:1e-4 m1 in
+  let c1' = Compile_cache.compile m1 in
+  Alcotest.(check bool) "evicted entry recompiled" true (c1 != c1');
+  let hits, misses, evictions = Compile_cache.stats () in
+  Alcotest.(check int) "no hits" 0 hits;
+  Alcotest.(check int) "three misses" 3 misses;
+  Alcotest.(check int) "two evictions" 2 evictions;
+  (match Compile_cache.set_max_entries 0 with
+  | () -> Alcotest.fail "set_max_entries 0 must be rejected"
+  | exception Invalid_argument _ -> ())
 
 (* ---- obs export merge: associativity + determinism ---- *)
 
@@ -341,6 +366,8 @@ let suite =
     Alcotest.test_case "compile cache dedup" `Quick test_compile_cache;
     Alcotest.test_case "compile cache simulates" `Quick
       test_compile_cache_simulates;
+    Alcotest.test_case "compile cache eviction" `Quick
+      test_compile_cache_eviction;
     Alcotest.test_case "export merge associative" `Quick test_export_merge;
     qt test_export_merge_deterministic;
     Alcotest.test_case "publish across domains" `Quick

@@ -115,13 +115,15 @@ let test_chrome_trace_parses () =
   let doc = Bench_json.parse (Obs.chrome_trace ()) in
   match Bench_json.member "traceEvents" doc with
   | Some (Bench_json.Arr events) ->
-      (* metadata + 2 spans *)
-      Alcotest.(check int) "event count" 3 (List.length events);
+      (* process_name + one thread_name lane (single domain) + 2 spans *)
+      Alcotest.(check int) "event count" 4 (List.length events);
       let names =
         List.filter_map (fun e -> Bench_json.member "name" e) events
       in
       Alcotest.(check bool) "escaped name round-trips" true
-        (List.mem (Bench_json.Str "b with \"quotes\"") names)
+        (List.mem (Bench_json.Str "b with \"quotes\"") names);
+      Alcotest.(check bool) "thread lane metadata present" true
+        (List.mem (Bench_json.Str "thread_name") names)
   | _ -> Alcotest.fail "traceEvents missing"
 
 let test_disabled_path_no_alloc () =

@@ -288,7 +288,7 @@ let test_compile_cache_run_map () =
             Silvm_app.actuator app 0))
   in
   check_int "all jobs ran" n (Array.length results);
-  let mhits, mmisses = Compile_cache.stats () in
+  let mhits, mmisses, _ = Compile_cache.stats () in
   let shits, smisses = Silvm_compile.cache_stats () in
   check_int "model compiles accounted" n (mhits + mmisses);
   check_bool "model cache misses bounded by workers" true (mmisses <= jobs);
