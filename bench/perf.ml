@@ -408,6 +408,63 @@ let bench_json () =
     paired_best 3 armed_rate (fun () -> flight_on armed_rate)
   in
   let overhead off on = if off > 0.0 then 1.0 -. (on /. off) else 0.0 in
+  (* P15: supervised-execution overhead + retry/backoff latency. The
+     supervision tax is the cancellation poll at the engines' step-loop
+     fuel points: one domain-local read when no token is armed, plus an
+     amortized clock read when a deadline is. Measured on the armed
+     campaign path with a (never-firing) deadline token installed — the
+     worst case — against the raw rate, using the same paired best-of
+     protocol as the recorder numbers. *)
+  let supervised_rate () =
+    let tok = Cancel.make ~deadline_s:3600.0 () in
+    Cancel.with_token tok armed_rate
+  in
+  let sup_off, sup_on = paired_best 3 armed_rate supervised_rate in
+  let sup_overhead = overhead sup_off sup_on in
+  (* retry/backoff latency: supervise a transient-once job many times
+     under a small backoff policy; the wall latency of each call is
+     dominated by the deterministic backoff sleep, so its quantiles
+     characterize what one transient failure costs a campaign job *)
+  let retry_calls = if quick () then 100 else 200 in
+  let retry_policy =
+    {
+      Supervise.default_policy with
+      Supervise.retries = 2;
+      backoff_base_s = 2e-4;
+      backoff_max_s = 2e-3;
+    }
+  in
+  let lat =
+    Array.init retry_calls (fun i ->
+        let first = ref true in
+        let t0 = Unix.gettimeofday () in
+        let o =
+          Supervise.supervise ~policy:retry_policy
+            ~label:(Printf.sprintf "bench-retry-%d" i)
+            (fun () ->
+              if !first then begin
+                first := false;
+                raise (Supervise.Transient_failure "bench blip")
+              end)
+        in
+        (match o.Supervise.result with
+        | Ok () -> ()
+        | Error _ -> failwith "P15: transient retry failed to recover");
+        Unix.gettimeofday () -. t0)
+  in
+  Array.sort compare lat;
+  let pct p =
+    lat.(min (retry_calls - 1) (int_of_float (p *. float_of_int retry_calls)))
+  in
+  let backoffs =
+    List.init retry_calls (fun i ->
+        Supervise.backoff_s retry_policy
+          ~label:(Printf.sprintf "bench-retry-%d" i)
+          ~attempt:0)
+  in
+  let bmin = List.fold_left Float.min infinity backoffs in
+  let bmax = List.fold_left Float.max 0.0 backoffs in
+  let bmean = List.fold_left ( +. ) 0.0 backoffs /. float_of_int retry_calls in
   Obs.set_enabled false;
   let snap = Obs.snapshot () in
   let extra =
@@ -486,6 +543,21 @@ let bench_json () =
             ( "armed_campaign_overhead_frac",
               Bench_json.Float (overhead armed_off armed_on) );
           ] );
+      ( "supervised",
+        Bench_json.Obj
+          [
+            ("armed_campaign_steps", Bench_json.Int fault_steps);
+            ("raw_steps_per_s", Bench_json.Float sup_off);
+            ("supervised_steps_per_s", Bench_json.Float sup_on);
+            ("overhead_frac", Bench_json.Float sup_overhead);
+            ("retry_calls", Bench_json.Int retry_calls);
+            ("retry_latency_p50_s", Bench_json.Float (pct 0.5));
+            ("retry_latency_p95_s", Bench_json.Float (pct 0.95));
+            ("retry_latency_max_s", Bench_json.Float lat.(retry_calls - 1));
+            ("backoff_first_min_s", Bench_json.Float bmin);
+            ("backoff_first_mean_s", Bench_json.Float bmean);
+            ("backoff_first_max_s", Bench_json.Float bmax);
+          ] );
     ]
   in
   let doc = Bench_json.bench ~name:"perf" ~steps ~wall_s ~extra snap in
@@ -532,6 +604,14 @@ let bench_json () =
     (100.0 *. overhead mil_off mil_on)
     (100.0 *. overhead sil_off sil_on)
     (100.0 *. overhead armed_off armed_on);
+  Printf.printf
+    "P15 supervised execution: %.0f steps/s raw, %.0f supervised (%.1f %% \
+     overhead); transient-retry latency p50 %.2f ms / p95 %.2f ms over %d \
+     calls\n"
+    sup_off sup_on (100.0 *. sup_overhead)
+    (1e3 *. pct 0.5)
+    (1e3 *. pct 0.95)
+    retry_calls;
   Printf.printf "wrote %s (git %s)\n\n" path (Bench_json.git_rev ())
 
 let run () =

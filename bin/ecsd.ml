@@ -734,10 +734,60 @@ let diff_cmd =
       $ opt_arg $ engine $ scenario $ fault_seed $ seeds $ jobs_arg $ json
       $ no_flight_arg $ profile_arg $ trace_arg $ metrics_arg)
 
+(* ---- supervised execution, shared by faultsim and serve ---- *)
+
+(* Validate ECSD_CHAOS_SEED / ECSD_CHAOS_RATE before any job runs, so a
+   typo dies with a clear message instead of failing lazily inside a
+   worker domain mid-campaign. *)
+let validate_chaos () =
+  try ignore (Supervise.Chaos.enabled ())
+  with Invalid_argument msg -> die "%s" msg
+
+(* Per-job exit-code semantics, documented in `ecsd serve --help`:
+   0 success, 1 job-criterion failure (divergence / unrecovered run),
+   2 bad request, 3 deadline timeout, 4 crash, 5 poisoned (retries
+   exhausted), 6 shed (refused or killed). The serve process itself
+   exits 0 after a clean drain. *)
+let supervised_exit = function
+  | Supervise.Timeout _ -> 3
+  | Supervise.Crashed (Supervise.Bad_request _) -> 2
+  | Supervise.Crashed _ -> 4
+  | Supervise.Transient _ -> 4
+  | Supervise.Poisoned _ -> 5
+  | Supervise.Shed -> 6
+
+let policy_of_flags ~deadline_s ~retries =
+  {
+    Supervise.default_policy with
+    Supervise.deadline_s = (if deadline_s > 0.0 then Some deadline_s else None);
+    retries = (if retries >= 0 then retries else 0);
+  }
+
+let deadline_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "deadline-s" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-job deadline: a job (one seed's run, or one serve job) \
+           running longer than $(docv) is cancelled at the next engine \
+           step and reported as a $(b,timeout) failure record. Default \
+           0: no deadline.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Extra attempts for jobs that fail transiently (e.g. under \
+           injected chaos), with deterministic exponential backoff; a \
+           job still transient after all attempts is quarantined as \
+           $(b,poisoned). Default 2.")
+
 (* ---- faultsim ---- *)
 
-let faultsim mcu period fixed model_name scenario_ref seeds t_end jobs list_scn
-    json json_out no_flight trace metrics =
+let faultsim mcu period fixed model_name scenario_ref seeds t_end jobs
+    on_error deadline_s retries list_scn json json_out no_flight trace metrics
+    =
   if list_scn then begin
     List.iter
       (fun s ->
@@ -749,8 +799,16 @@ let faultsim mcu period fixed model_name scenario_ref seeds t_end jobs list_scn
   else
     with_obs trace metrics @@ fun () ->
     enable_flight no_flight;
+    validate_chaos ();
     if model_name <> "servo" then
       die "unknown model %S (faultsim drives the servo case study)" model_name;
+    (* supervised mode: a failing seed becomes a failure row in the
+       report instead of aborting the whole campaign *)
+    let policy =
+      match on_error with
+      | `Abort -> None
+      | `Record -> Some (policy_of_flags ~deadline_s ~retries)
+    in
     let scenario = scenario_or_die scenario_ref in
     let mk_subject () =
       try
@@ -811,11 +869,12 @@ let faultsim mcu period fixed model_name scenario_ref seeds t_end jobs list_scn
         end);
     let r =
       if jobs <= 1 then
-        Fault_campaign.run ~t_end ~seeds ~scenario ~on_run (mk_subject ())
+        Fault_campaign.run ~t_end ~seeds ~scenario ~on_run ?policy
+          (mk_subject ())
       else
         Exec_pool.with_pool ~workers:jobs (fun pool ->
             Fault_campaign.run_parallel ~t_end ~seeds ~pool ~scenario ~on_run
-              mk_subject)
+              ?policy mk_subject)
     in
     campaign_done := true;
     Printf.printf "model              : %s\n" model_name;
@@ -849,6 +908,17 @@ let faultsim mcu period fixed model_name scenario_ref seeds t_end jobs list_scn
           ])
       r.Fault_campaign.runs;
     Table.print t;
+    List.iter
+      (fun (seed, e) ->
+        Printf.printf "failure            : seed %d %s (%s)\n" seed
+          (Supervise.error_class e) (Supervise.error_message e))
+      r.Fault_campaign.failures;
+    if policy <> None then
+      Printf.printf "supervision        : %d/%d seeds ok, %d failed, %d retries\n"
+        (List.length r.Fault_campaign.runs)
+        seeds
+        (List.length r.Fault_campaign.failures)
+        r.Fault_campaign.retries_total;
     let detected = Fault_campaign.all_detected r in
     let recovered = Fault_campaign.all_recovered r in
     Printf.printf "detected           : %s\n" (if detected then "all runs" else "NOT ALL");
@@ -864,7 +934,7 @@ let faultsim mcu period fixed model_name scenario_ref seeds t_end jobs list_scn
         Bench_json.write ~path (Fault_campaign.to_json ~model:model_name r);
         Printf.printf "JSON report written to %s\n" path);
     write_flight_bundle model_name;
-    if recovered then 0 else 1
+    if recovered && r.Fault_campaign.failures = [] then 0 else 1
 
 let faultsim_cmd =
   let model_arg =
@@ -910,6 +980,22 @@ let faultsim_cmd =
       & info [ "json-out" ] ~docv:"FILE"
           ~doc:"Write the campaign JSON to $(docv) (implies $(b,--json)).")
   in
+  let on_error =
+    Arg.(
+      value
+      & opt (enum [ ("abort", `Abort); ("record", `Record) ]) `Abort
+      & info [ "on-error" ] ~docv:"abort|record"
+          ~doc:
+            "What a failing seed does to the campaign. $(b,abort) \
+             (default): the first failure kills the run, as before. \
+             $(b,record): supervised execution — each seed runs under \
+             the $(b,--deadline-s)/$(b,--retries) envelope (and any \
+             $(b,ECSD_CHAOS_SEED) chaos), failures become per-seed \
+             rows in the report, and the campaign completes; exit 1 if \
+             any seed failed or never recovered. Failure rows are \
+             deterministic, so the report stays byte-identical across \
+             $(b,--jobs).")
+  in
   Cmd.v
     (Cmd.info "faultsim"
        ~doc:
@@ -919,8 +1005,8 @@ let faultsim_cmd =
           recovers)")
     Term.(
       const faultsim $ mcu_arg $ period_arg $ fixed_arg $ model_arg $ scenario
-      $ seeds $ t_end $ jobs_arg $ list_scn $ json $ json_out $ no_flight_arg
-      $ trace_arg $ metrics_arg)
+      $ seeds $ t_end $ jobs_arg $ on_error $ deadline_arg $ retries_arg
+      $ list_scn $ json $ json_out $ no_flight_arg $ trace_arg $ metrics_arg)
 
 (* ---- serve ---- *)
 
@@ -935,7 +1021,8 @@ let serve_usage =
    [ENGINE]]]]  |  stats  (SCENARIO '-' = none; ENGINE \
    compiled|interp|both)"
 
-let serve mcu period fixed jobs heartbeat prom no_flight =
+let serve mcu period fixed jobs heartbeat prom no_flight deadline_s retries
+    queue_hw =
   let cfg = config mcu period fixed in
   (* serve always runs instrumented: the registry feeds the heartbeat
      lines, the `stats` job and the --prom snapshot; the flight recorder
@@ -943,6 +1030,23 @@ let serve mcu period fixed jobs heartbeat prom no_flight =
   Obs.reset ();
   Obs.set_enabled true;
   enable_flight no_flight;
+  validate_chaos ();
+  let policy = policy_of_flags ~deadline_s ~retries in
+  (* Graceful degradation: the first SIGINT/SIGTERM stops intake and
+     drains the jobs already admitted; a second one flips [killed], so
+     in-flight jobs cancel at their next fuel point and report as shed.
+     OCaml 5 delivers signals on an arbitrary domain, so the handler
+     only sets flags — the read loop polls [draining] (it reads stdin
+     through select for exactly this reason) and Cancel tokens poll
+     [killed]. *)
+  let draining = Atomic.make false in
+  let killed = Atomic.make false in
+  let on_signal _ =
+    if Atomic.get draining then Atomic.set killed true
+    else Atomic.set draining true
+  in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
   let t0 = Obs.now_ns () in
   let workers = if jobs >= 1 then jobs else Domain.recommended_domain_count () in
   let pool = Exec_pool.create ~workers () in
@@ -981,8 +1085,12 @@ let serve mcu period fixed jobs heartbeat prom no_flight =
     Mutex.unlock lock
   in
   let open Bench_json in
+  (* runtime request errors (unknown scenario/model) are bad requests:
+     classified, never retried, worker survives *)
   let scenario_or_fail s =
-    match Fault_scenario.find s with Ok scn -> scn | Error e -> failwith e
+    match Fault_scenario.find s with
+    | Ok scn -> scn
+    | Error e -> raise (Supervise.Bad_request e)
   in
   let run_faultsim scn_ref seeds t_end =
     let scenario = scenario_or_fail scn_ref in
@@ -1033,7 +1141,8 @@ let serve mcu period fixed jobs heartbeat prom no_flight =
           ( "isr_demo",
             Silvm_diff.run ~steps ~float_mode:Silvm_diff.Exact ~engine ~stimulus
               ?injector ~name:"isr_demo" ~project comp )
-      | other -> failwith (Printf.sprintf "unknown model %S" other)
+      | other ->
+          raise (Supervise.Bad_request (Printf.sprintf "unknown model %S" other))
     in
     let ok = report.Silvm_diff.divergence = None in
     [
@@ -1088,43 +1197,66 @@ let serve mcu period fixed jobs heartbeat prom no_flight =
       ("exit", Int 0);
     ]
   in
+  (* Malformed lines are rejected at parse time — numeric arguments
+     validate eagerly, so a bad count never reaches a worker — and
+     reported as structured bad-request records instead of a free-form
+     failwith string. *)
   let parse_job line =
+    let usage what = Error (Printf.sprintf "%s (expected: %s)" what serve_usage) in
+    let int_arg what s k =
+      match int_of_string_opt s with
+      | Some v -> k v
+      | None -> usage (Printf.sprintf "bad %s %S" what s)
+    in
+    let float_arg what s k =
+      match float_of_string_opt s with
+      | Some v -> k v
+      | None -> usage (Printf.sprintf "bad %s %S" what s)
+    in
     match
       String.split_on_char ' ' line
       |> List.filter (fun s -> String.trim s <> "")
     with
-    | [ "stats" ] -> fun () -> run_stats ()
-    | [ "faultsim"; scn ] -> fun () -> run_faultsim scn 5 2.0
+    | [ "stats" ] -> Ok (fun () -> run_stats ())
+    | [ "faultsim"; scn ] -> Ok (fun () -> run_faultsim scn 5 2.0)
     | [ "faultsim"; scn; seeds ] ->
-        fun () -> run_faultsim scn (int_of_string seeds) 2.0
+        int_arg "seed count" seeds @@ fun seeds ->
+        Ok (fun () -> run_faultsim scn seeds 2.0)
     | [ "faultsim"; scn; seeds; t_end ] ->
-        fun () ->
-          run_faultsim scn (int_of_string seeds) (float_of_string t_end)
-    | [ "diff"; model ] -> fun () -> run_diff model 1000 None 1 Silvm_diff.Compiled
+        int_arg "seed count" seeds @@ fun seeds ->
+        float_arg "t_end" t_end @@ fun t_end ->
+        Ok (fun () -> run_faultsim scn seeds t_end)
+    | [ "diff"; model ] ->
+        Ok (fun () -> run_diff model 1000 None 1 Silvm_diff.Compiled)
     | [ "diff"; model; steps ] ->
-        fun () -> run_diff model (int_of_string steps) None 1 Silvm_diff.Compiled
+        int_arg "step count" steps @@ fun steps ->
+        Ok (fun () -> run_diff model steps None 1 Silvm_diff.Compiled)
     | [ "diff"; model; steps; scn ] ->
         let scn = if scn = "-" then None else Some scn in
-        fun () -> run_diff model (int_of_string steps) scn 1 Silvm_diff.Compiled
+        int_arg "step count" steps @@ fun steps ->
+        Ok (fun () -> run_diff model steps scn 1 Silvm_diff.Compiled)
     | [ "diff"; model; steps; scn; seed ] ->
         let scn = if scn = "-" then None else Some scn in
-        fun () ->
-          run_diff model (int_of_string steps) scn (int_of_string seed)
-            Silvm_diff.Compiled
+        int_arg "step count" steps @@ fun steps ->
+        int_arg "seed" seed @@ fun seed ->
+        Ok (fun () -> run_diff model steps scn seed Silvm_diff.Compiled)
     | [ "diff"; model; steps; scn; seed; eng ] -> (
         let scn = if scn = "-" then None else Some scn in
+        int_arg "step count" steps @@ fun steps ->
+        int_arg "seed" seed @@ fun seed ->
         match engine_of_name eng with
-        | Some engine ->
-            fun () ->
-              run_diff model (int_of_string steps) scn (int_of_string seed)
-                engine
-        | None ->
-            fun () ->
-              failwith
-                (Printf.sprintf "bad engine %S (compiled|interp|both)" eng))
-    | _ ->
-        fun () ->
-          failwith (Printf.sprintf "bad job line (expected: %s)" serve_usage)
+        | Some engine -> Ok (fun () -> run_diff model steps scn seed engine)
+        | None -> usage (Printf.sprintf "bad engine %S (compiled|interp|both)" eng))
+    | _ -> usage "bad job line"
+  in
+  let error_fields ~job ~attempts err =
+    [
+      ("job", Str job);
+      ("class", Str (Supervise.error_class err));
+      ("error", Str (Supervise.error_message err));
+      ("attempts", Int attempts);
+      ("exit", Int (supervised_exit err));
+    ]
   in
   let submit_job id line =
     Mutex.lock lock;
@@ -1134,13 +1266,24 @@ let serve mcu period fixed jobs heartbeat prom no_flight =
         Flight.begin_track ~id ~name:line;
         let t_start = Obs.now_ns () in
         let fields =
-          try parse_job line ()
-          with e ->
-            [
-              ("job", Str "error");
-              ("error", Str (Printexc.to_string e));
-              ("exit", Int 2);
-            ]
+          match parse_job line with
+          | Error msg ->
+              error_fields ~job:"error" ~attempts:0
+                (Supervise.Crashed (Supervise.Bad_request msg))
+          | Ok thunk -> (
+              (* the supervised envelope: deadline, retry/backoff,
+                 chaos, kill-on-second-signal; never raises, so the
+                 worker always survives the job *)
+              let o = Supervise.supervise ~policy ~killed ~label:line thunk in
+              match o.Supervise.result with
+              | Ok fields ->
+                  if o.Supervise.attempts > 1 then
+                    fields @ [ ("attempts", Int o.Supervise.attempts) ]
+                  else fields
+              | Error (Supervise.Shed as err) ->
+                  error_fields ~job:"shed" ~attempts:o.Supervise.attempts err
+              | Error err ->
+                  error_fields ~job:"error" ~attempts:o.Supervise.attempts err)
         in
         Obs.record_named "serve.job_s" ((Obs.now_ns () -. t_start) *. 1e-9);
         (* publish before emit so the heartbeat taken there (and any
@@ -1148,18 +1291,92 @@ let serve mcu period fixed jobs heartbeat prom no_flight =
         Obs.publish ();
         emit id (to_string (Obj (("id", Int id) :: fields))))
   in
+  (* Bounded queue: past the high-water mark of admitted-but-unfinished
+     jobs the server sheds instead of buffering without bound — the
+     shed record streams back in order like any result, so the client
+     sees the backpressure immediately and can re-submit. *)
+  let shed_job id =
+    Supervise.record_shed ();
+    Mutex.lock lock;
+    incr pending;
+    Mutex.unlock lock;
+    emit id
+      (to_string
+         (Obj
+            (("id", Int id)
+            :: error_fields ~job:"shed" ~attempts:0 Supervise.Shed)))
+  in
+  let admit id line =
+    let backlog =
+      Mutex.lock lock;
+      let p = !pending in
+      Mutex.unlock lock;
+      p
+    in
+    if queue_hw > 0 && backlog >= queue_hw then shed_job id else submit_job id line
+  in
+  (* The read loop polls stdin through select so a drain signal is
+     noticed within 200 ms even with no input flowing ([input_line]
+     would block until the next line). Lines are reassembled from raw
+     reads; a trailing unterminated line still runs at EOF. *)
+  let inbuf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let submit_lines id =
+    let data = Buffer.contents inbuf in
+    Buffer.clear inbuf;
+    let n = String.length data in
+    let id = ref id in
+    let start = ref 0 in
+    (try
+       while not (Atomic.get draining) do
+         match String.index_from data !start '\n' with
+         | exception Not_found -> raise Exit
+         | nl ->
+             let l = String.trim (String.sub data !start (nl - !start)) in
+             start := nl + 1;
+             if l <> "" && l.[0] <> '#' then begin
+               admit !id l;
+               incr id
+             end
+       done
+     with Exit -> ());
+    (* keep the partial tail for the next read *)
+    if !start < n then Buffer.add_substring inbuf data !start (n - !start);
+    !id
+  in
   let rec read_loop id =
-    match input_line stdin with
-    | exception End_of_file -> ()
-    | line ->
-        let l = String.trim line in
-        if l = "" || l.[0] = '#' then read_loop id
-        else begin
-          submit_job id l;
-          read_loop (id + 1)
-        end
+    if not (Atomic.get draining) then
+      match Unix.select [ Unix.stdin ] [] [] 0.2 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_loop id
+      | [], _, _ -> read_loop id
+      | _ -> (
+          match Unix.read Unix.stdin chunk 0 (Bytes.length chunk) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_loop id
+          | 0 ->
+              (* EOF: run any unterminated final line *)
+              if Buffer.length inbuf > 0 then begin
+                Buffer.add_char inbuf '\n';
+                ignore (submit_lines id)
+              end
+          | n ->
+              Buffer.add_subbytes inbuf chunk 0 n;
+              read_loop (submit_lines id))
   in
   read_loop 0;
+  if Atomic.get draining then begin
+    Printf.eprintf
+      "draining: intake stopped, %d job(s) in flight (signal again to shed \
+       them)\n\
+       %!"
+      (let () = Mutex.lock lock in
+       let p = !pending in
+       Mutex.unlock lock;
+       p);
+    (* forensics of the interrupted session: dump the rings so the
+       flight bundle below records what every job was doing *)
+    if Flight.enabled () then
+      Flight.capture ~reason:"serve: drain on signal"
+  end;
   (* shutdown drops queued injector tasks, so drain first *)
   Mutex.lock lock;
   while !pending > 0 do
@@ -1204,6 +1421,16 @@ let serve_cmd =
             "After the queue drains, write the metrics registry as a \
              Prometheus text-exposition snapshot to $(docv).")
   in
+  let queue =
+    Arg.(
+      value & opt int 0
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Bounded-queue high-water mark: while $(docv) jobs are \
+             admitted but unfinished, further lines are refused with a \
+             $(b,\"job\":\"shed\") record (exit field 6) instead of \
+             buffering without bound. Default 0: unbounded.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1212,10 +1439,20 @@ let serve_cmd =
           [SCENARIO [SEED]]]) or $(b,stats)), run them on a work-stealing \
           domain pool and stream one JSON result line per job on stdout, \
           in submission order. Blank lines and $(b,#) comments are \
-          skipped.")
+          skipped. Every job runs supervised: $(b,--deadline-s) bounds \
+          its runtime, transient failures retry up to $(b,--retries) \
+          times with deterministic backoff, and failures come back as \
+          structured records — $(b,\"class\") is one of bad_request | \
+          timeout | crashed | transient | poisoned | shed, and the \
+          per-job $(b,\"exit\") field is 0 success, 1 criterion failure \
+          (divergence or unrecovered run), 2 bad request, 3 timeout, 4 \
+          crash, 5 poisoned, 6 shed. SIGINT/SIGTERM stops intake and \
+          drains in-flight jobs, then flushes the $(b,--prom) snapshot \
+          and the flight bundle before exiting 0; a second signal sheds \
+          the in-flight jobs too.")
     Term.(
       const serve $ mcu_arg $ period_arg $ fixed_arg $ jobs $ heartbeat $ prom
-      $ no_flight_arg)
+      $ no_flight_arg $ deadline_arg $ retries_arg $ queue)
 
 (* ---- analyze ---- *)
 

@@ -300,6 +300,9 @@ let record_probes t fr =
         t.probes
 
 let step t =
+  (* supervision fuel point: a deadline or kill on the ambient token
+     abandons the run between steps, where all state is reset-able *)
+  Cancel.poll ();
   Obs.span_begin "sim.step";
   (* one ring fetch per step, shared with the probe burst below *)
   let fr = if Flight.enabled () then Some (Flight.recorder ()) else None in

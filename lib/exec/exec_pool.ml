@@ -24,7 +24,9 @@ type t = {
   mutable live : bool;
   mutable domains : unit Domain.t array;
   sleepers : int Atomic.t;
+  mutable on_task_error : (exn -> unit) option;
   c_tasks : Obs.counter;
+  c_task_errors : Obs.counter;
   c_steals : Obs.counter;
   h_task : Obs.hist;  (* per-task latency, seconds *)
 }
@@ -90,12 +92,18 @@ let find_task pool w =
 let run_task pool task =
   Obs.add pool.c_tasks 1;
   (* a task must not kill its worker; fork-join wrappers catch and
-     re-raise on the joining domain, so anything arriving here is a
-     bug in a fire-and-forget submission — report, keep serving *)
+     re-raise on the joining domain, so anything arriving here escaped
+     a fire-and-forget submission — count it, route it through the
+     error hook (or stderr), keep serving. Submitted jobs can no
+     longer vanish silently. *)
   try task ()
   with e ->
-    prerr_endline
-      ("exec_pool: uncaught exception in task: " ^ Printexc.to_string e)
+    Obs.add pool.c_task_errors 1;
+    (match pool.on_task_error with
+    | Some hook -> ( try hook e with _ -> ())
+    | None ->
+        prerr_endline
+          ("exec_pool: uncaught exception in task: " ^ Printexc.to_string e))
 
 let run_task_timed pool task =
   if Obs.enabled () then begin
@@ -177,7 +185,9 @@ let create ?workers () =
       live = true;
       domains = [||];
       sleepers = Atomic.make 0;
+      on_task_error = None;
       c_tasks = Obs.counter "exec.tasks";
+      c_task_errors = Obs.counter "exec.task_errors";
       c_steals = Obs.counter "exec.steals";
       h_task = Obs.hist "exec.task_s";
     }
@@ -196,6 +206,13 @@ let shutdown pool =
   end
 
 let size pool = pool.workers
+let set_error_hook pool hook = pool.on_task_error <- Some hook
+
+let queue_depth pool =
+  Mutex.lock pool.lock;
+  let n = Queue.length pool.injector in
+  Mutex.unlock pool.lock;
+  n
 
 let with_pool ?workers f =
   let pool = create ?workers () in
@@ -214,7 +231,7 @@ let record_failure failed i e bt =
   in
   go ()
 
-let run_map pool ?(chunk = 1) n f =
+let run_map pool ?(chunk = 1) ?(on_error = `Abort) n f =
   if n < 0 then invalid_arg "Exec_pool.run_map";
   if chunk < 1 then invalid_arg "Exec_pool.run_map: chunk";
   if n = 0 then [||]
@@ -230,13 +247,25 @@ let run_map pool ?(chunk = 1) n f =
         Mutex.unlock bm
       end
     in
+    let leaf i =
+      match f i with
+      | v -> results.(i) <- Some v
+      | exception e -> (
+          match on_error with
+          | `Abort -> record_failure failed i e (Printexc.get_raw_backtrace ())
+          | `Record handler -> (
+              (* the handler turns the exception into slot [i]'s record;
+                 its value depends only on (i, e), so the merged array
+                 is deterministic under any schedule *)
+              match handler i e with
+              | v -> results.(i) <- Some v
+              | exception e2 ->
+                  record_failure failed i e2 (Printexc.get_raw_backtrace ())))
+    in
     let rec range lo hi () =
       if hi - lo <= chunk then begin
         for i = lo to hi - 1 do
-          match f i with
-          | v -> results.(i) <- Some v
-          | exception e ->
-              record_failure failed i e (Printexc.get_raw_backtrace ())
+          leaf i
         done;
         (* publish before the barrier releases so the joining domain's
            snapshot includes this leaf's counts *)

@@ -33,14 +33,37 @@ val shutdown : t -> unit
 val size : t -> int
 (** Number of worker domains. *)
 
-val run_map : t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+val run_map :
+  t ->
+  ?chunk:int ->
+  ?on_error:[ `Abort | `Record of int -> exn -> 'a ] ->
+  int ->
+  (int -> 'a) ->
+  'a array
 (** [run_map pool n f] evaluates [f] at [0..n-1] on the pool and
     returns [[| f 0; ...; f (n-1) |]]. Blocks the calling domain until
     all leaves finish. [chunk] (default 1) is the largest index range
-    one leaf executes serially. If any [f i] raises, the exception of
-    the {e lowest} failing index is re-raised here (after all leaves
-    have finished) — deterministic under any schedule. *)
+    one leaf executes serially.
+
+    [on_error] decides what a raising [f i] does to the campaign:
+    - [`Abort] (default): the exception of the {e lowest} failing index
+      is re-raised here after all leaves have finished — deterministic
+      under any schedule.
+    - [`Record handler]: slot [i] gets [handler i e] instead, so the
+      campaign completes with per-item error records; the merged array
+      stays deterministic because the record depends only on [(i, e)].
+      An exception escaping the handler itself aborts as above. *)
 
 val submit : t -> (unit -> unit) -> unit
-(** Queue one task. Exceptions escaping it are reported on stderr and
-    swallowed — wrap the body if you need the error. *)
+(** Queue one task. An exception escaping it is counted
+    ([exec.task_errors]) and routed to the pool's error hook — or
+    stderr when none is set — and the worker keeps serving. *)
+
+val set_error_hook : t -> (exn -> unit) -> unit
+(** Route exceptions escaping {!submit}ted tasks to [hook] instead of
+    stderr. The hook runs on the worker domain that ran the task and
+    must synchronize its own state; exceptions it raises are dropped. *)
+
+val queue_depth : t -> int
+(** Tasks sitting in the injector queue (submitted, not yet picked up)
+    — the backpressure signal for bounded-queue admission. *)

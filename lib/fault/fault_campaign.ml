@@ -29,6 +29,10 @@ type result = {
   t_end : float;
   period : float;
   runs : run_result list;
+  failures : (int * Supervise.error) list;
+      (* supervised mode: seeds whose run ended in an error record
+         instead of metrics, sorted by seed *)
+  retries_total : int;
   steps_per_run : int;
   wall_s : float;
 }
@@ -55,6 +59,9 @@ let one_run subject ~scenario ~seed ~steps ~period ~t_end ~wdog_timeout =
   let modes = Array.make steps 0 in
   let err = Array.make steps 0.0 in
   for k = 0 to steps - 1 do
+    (* supervision fuel point (Sim.step polls too; this one covers the
+       MCU/watchdog half of the loop) *)
+    Cancel.poll ();
     let time = Sim.time subject.sim in
     Sim.step subject.sim;
     (* the virtual MCU lives the same period, stretched by any injected
@@ -125,29 +132,86 @@ let one_run subject ~scenario ~seed ~steps ~period ~t_end ~wdog_timeout =
 (* wall_s is the one timing-dependent field of the campaign document;
    ECSD_WALL_ZERO=1 zeroes it so CI can assert a --jobs N report
    byte-identical to the --jobs 1 one with plain cmp. *)
-let wall s = if Sys.getenv_opt "ECSD_WALL_ZERO" = None then s else 0.0
+let wall s =
+  match Sys.getenv_opt "ECSD_WALL_ZERO" with
+  | None | Some "" -> s
+  | Some _ -> 0.0
 
-let run ?(t_end = 2.0) ?(seeds = 5) ?wdog_timeout ?on_run ~scenario subject =
+(* One supervised (or raw) per-seed run. Without a policy the run is
+   executed bare and any exception propagates — the historical abort
+   behaviour. With a policy, deadlines / retries / chaos apply and the
+   outcome is a record, never an exception, so a campaign degrades to
+   per-seed failure rows instead of dying. The label feeds the chaos
+   and jitter hashes, so a given (seed, attempt) fails the same way on
+   every schedule. *)
+let supervised_one ?policy subject ~scenario ~seed ~steps ~period ~t_end
+    ~wdog_timeout =
+  let go () =
+    one_run subject ~scenario ~seed ~steps ~period ~t_end ~wdog_timeout
+  in
+  match policy with
+  | None -> { Supervise.result = Ok (go ()); attempts = 1 }
+  | Some policy ->
+      Supervise.supervise ~policy
+        ~label:
+          (Printf.sprintf "faultsim:%s:seed%d" scenario.Fault_scenario.sname
+             seed)
+        go
+
+let merge ~scenario ~t_end ~period ~steps ~wall_s outcomes =
+  let runs =
+    List.filter_map
+      (fun (_, o) ->
+        match o.Supervise.result with Ok r -> Some r | Error _ -> None)
+      outcomes
+  in
+  let failures =
+    List.filter_map
+      (fun (seed, o) ->
+        match o.Supervise.result with
+        | Error e -> Some (seed, e)
+        | Ok _ -> None)
+      outcomes
+  in
+  let retries_total =
+    List.fold_left (fun a (_, o) -> a + o.Supervise.attempts - 1) 0 outcomes
+  in
+  {
+    scenario;
+    t_end;
+    period;
+    runs;
+    failures;
+    retries_total;
+    steps_per_run = steps;
+    wall_s;
+  }
+
+let run ?(t_end = 2.0) ?(seeds = 5) ?wdog_timeout ?on_run ?policy ~scenario
+    subject =
   let period = Sim.base_dt subject.sim in
   let wdog_timeout =
     match wdog_timeout with Some t -> t | None -> 8.0 *. period
   in
   let steps = int_of_float ((t_end /. period) +. 0.5) in
   let t0 = Obs.now_ns () in
-  let runs =
+  let outcomes =
     List.init seeds (fun i ->
-        let r =
-          one_run subject ~scenario ~seed:(i + 1) ~steps ~period ~t_end
+        let seed = i + 1 in
+        let o =
+          supervised_one ?policy subject ~scenario ~seed ~steps ~period ~t_end
             ~wdog_timeout
         in
-        (match on_run with Some f -> f r | None -> ());
-        r)
+        (match (o.Supervise.result, on_run) with
+        | Ok r, Some f -> f r
+        | _ -> ());
+        (seed, o))
   in
   let wall_s = wall ((Obs.now_ns () -. t0) *. 1e-9) in
-  { scenario; t_end; period; runs; steps_per_run = steps; wall_s }
+  merge ~scenario ~t_end ~period ~steps ~wall_s outcomes
 
-let run_parallel ?(t_end = 2.0) ?(seeds = 5) ?wdog_timeout ?on_run ~pool
-    ~scenario mk_subject =
+let run_parallel ?(t_end = 2.0) ?(seeds = 5) ?wdog_timeout ?on_run ?policy
+    ~pool ~scenario mk_subject =
   (* Every domain — workers and this one — lazily builds its own
      subject: Sim state is mutable and must stay domain-local. The
      probe below runs on the calling domain, warming the compile cache
@@ -166,26 +230,22 @@ let run_parallel ?(t_end = 2.0) ?(seeds = 5) ?wdog_timeout ?on_run ~pool
     (period, int_of_float ((t_end /. period) +. 0.5), wdog_timeout)
   in
   let t0 = Obs.now_ns () in
-  let runs =
+  let outcomes =
     Exec_pool.run_map pool seeds (fun i ->
         let subject = Domain.DLS.get subj_key in
-        let r =
-          one_run subject ~scenario ~seed:(i + 1) ~steps ~period ~t_end
+        let seed = i + 1 in
+        let o =
+          supervised_one ?policy subject ~scenario ~seed ~steps ~period ~t_end
             ~wdog_timeout
         in
         (* called from worker domains: the callback must synchronize *)
-        (match on_run with Some f -> f r | None -> ());
-        r)
+        (match (o.Supervise.result, on_run) with
+        | Ok r, Some f -> f r
+        | _ -> ());
+        (seed, o))
   in
   let wall_s = wall ((Obs.now_ns () -. t0) *. 1e-9) in
-  {
-    scenario;
-    t_end;
-    period;
-    runs = Array.to_list runs;
-    steps_per_run = steps;
-    wall_s;
-  }
+  merge ~scenario ~t_end ~period ~steps ~wall_s (Array.to_list outcomes)
 
 let throughput ?scenario ~steps subject =
   Sim.reset subject.sim;
@@ -254,9 +314,21 @@ let to_json ~model r =
       ("t_end", Float r.t_end);
       ("period", Float r.period);
       ("steps_per_run", Int r.steps_per_run);
-      ("seeds", Int (List.length r.runs));
+      ("seeds", Int (List.length r.runs + List.length r.failures));
       ("wall_s", Float r.wall_s);
       ("runs", Arr (List.map run_row r.runs));
+      ( "failures",
+        Arr
+          (List.map
+             (fun (seed, e) ->
+               Obj
+                 [
+                   ("seed", Int seed);
+                   ("class", Str (Supervise.error_class e));
+                   ("error", Str (Supervise.error_message e));
+                 ])
+             r.failures) );
+      ("retries_total", Int r.retries_total);
       ("all_detected", Bool (all_detected r));
       ("all_recovered", Bool (all_recovered r));
       ("detection_s", json_stats (List.filter_map (fun x -> x.detection_s) r.runs));

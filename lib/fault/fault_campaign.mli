@@ -44,6 +44,12 @@ type result = {
   t_end : float;
   period : float;
   runs : run_result list;
+  failures : (int * Supervise.error) list;
+      (** supervised campaigns only: seeds whose run ended in an error
+          record (timeout, crash, poisoned, ...) instead of metrics, in
+          seed order. Empty when no policy is given. *)
+  retries_total : int;
+      (** total retry attempts spent across all seeds (supervised) *)
   steps_per_run : int;
   wall_s : float;
 }
@@ -59,6 +65,7 @@ val run :
   ?seeds:int ->
   ?wdog_timeout:float ->
   ?on_run:(run_result -> unit) ->
+  ?policy:Supervise.policy ->
   scenario:Fault_scenario.t ->
   subject ->
   result
@@ -69,13 +76,20 @@ val run :
     injected overruns stretch the step's cycle budget so a long enough
     burst starves the watchdog exactly as it would on the bench.
     [on_run] fires after each completed run — the CLI uses it to keep a
-    partial report it can flush if a later run dies. *)
+    partial report it can flush if a later run dies.
+
+    [policy] turns on supervised execution: each seed's run gets a
+    {!Supervise} deadline/retry envelope (and any configured chaos),
+    a failing seed lands in [failures] instead of aborting the
+    campaign, and [on_run] fires only for successful runs. Without a
+    [policy] any exception propagates, as before. *)
 
 val run_parallel :
   ?t_end:float ->
   ?seeds:int ->
   ?wdog_timeout:float ->
   ?on_run:(run_result -> unit) ->
+  ?policy:Supervise.policy ->
   pool:Exec_pool.t ->
   scenario:Fault_scenario.t ->
   (unit -> subject) ->
@@ -89,7 +103,10 @@ val run_parallel :
     equals the sequential one field-for-field except [wall_s]
     (set [ECSD_WALL_ZERO=1] to zero that too and compare bytes).
     [on_run] fires on the worker domain that completed the run and must
-    synchronize its own state. *)
+    synchronize its own state. [policy] is as in {!run}; supervised
+    outcomes (including chaos decisions and backoff jitter) are pure
+    functions of (seed, attempt), so the supervised report stays
+    byte-identical across [--jobs] settings. *)
 
 val throughput : ?scenario:Fault_scenario.t -> steps:int -> subject -> float
 (** Steps per second over a fresh run, armed with [scenario] when given

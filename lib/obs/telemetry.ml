@@ -5,7 +5,10 @@
    with (wrapped false) and lib/control already owns the [Metrics] module
    (control-quality metrics). *)
 
-let wall s = if Sys.getenv_opt "ECSD_WALL_ZERO" = None then s else 0.0
+let wall s =
+  match Sys.getenv_opt "ECSD_WALL_ZERO" with
+  | None | Some "" -> s
+  | Some _ -> 0.0
 
 (* Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*; the registry uses
    dotted names, so map everything else to '_' *)

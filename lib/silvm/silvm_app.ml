@@ -151,6 +151,9 @@ let initialize app =
 (* one base-rate step: the periodic part, then the ISR groups of every
    bean event that fired in this period *)
 let step_fr fr app =
+  (* supervision fuel point (cheap: one domain-local read when no
+     token is installed) *)
+  Cancel.poll ();
   (match fr with
   | Some r -> Flight.step_mark_r r ~step:app.steps ~time:app.time app.name
   | None -> ());

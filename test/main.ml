@@ -33,5 +33,6 @@ let () =
       ("silvm-compile", Test_silvm_compile.suite);
       ("fault", Test_fault.suite);
       ("exec", Test_exec.suite);
+      ("supervise", Test_supervise.suite);
       ("flight", Test_flight.suite);
     ]
